@@ -1,0 +1,53 @@
+//! Ablation bench: shared gradient buffer vs per-virtual-node gradient
+//! retention (DESIGN.md §5).
+//!
+//! VirtualFlow accumulates each virtual node's gradient into one shared
+//! buffer (memory O(model), time O(V) adds). The alternative — keeping all
+//! V gradients and reducing at the end — costs O(V·model) memory and
+//! allocator traffic. This bench shows the time side; the memory side is
+//! asserted directly (`retained` allocates V times the buffer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vf_tensor::reduce::{reduce_mean, ReductionOrder};
+use vf_tensor::{init, Tensor};
+
+const GRAD_LEN: usize = 262_144; // 1 MiB of f32, ~ResNet-56 scale
+
+fn fresh_grad(seed: u64) -> Tensor {
+    init::normal(&mut init::rng(seed), [GRAD_LEN], 0.0, 1.0)
+}
+
+/// VirtualFlow's strategy: one resident buffer, accumulated in place.
+fn shared_buffer(vns: usize) -> Tensor {
+    let mut buffer = Tensor::zeros([GRAD_LEN]);
+    for v in 0..vns {
+        let g = fresh_grad(v as u64); // stands for the backward pass output
+        buffer.add_assign(&g).expect("same shape");
+    }
+    buffer.scale(1.0 / vns as f32)
+}
+
+/// The ablated strategy: retain every VN gradient, reduce at step end.
+fn retained(vns: usize) -> Tensor {
+    let grads: Vec<Tensor> = (0..vns).map(|v| fresh_grad(v as u64)).collect();
+    assert_eq!(grads.len(), vns, "memory scales with VN count");
+    reduce_mean(&grads, ReductionOrder::Sequential, None).expect("same shapes")
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_buffer");
+    group.sample_size(10);
+    for vns in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("shared_buffer", vns), &vns, |b, &v| {
+            b.iter(|| black_box(shared_buffer(v)));
+        });
+        group.bench_with_input(BenchmarkId::new("retain_all", vns), &vns, |b, &v| {
+            b.iter(|| black_box(retained(v)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation bench: deterministic tree reduction vs sequential vs
+//! arrival-order summation of virtual node gradients (DESIGN.md §5).
+//!
+//! The tree reduction buys bitwise mapping-independence and better
+//! conditioning; this bench quantifies what it costs in time relative to
+//! the naive orders across gradient sizes and virtual node counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vf_tensor::reduce::{reduce_mean, ReductionOrder};
+use vf_tensor::{init, Tensor};
+
+fn gradients(vns: usize, len: usize) -> Vec<Tensor> {
+    let mut rng = init::rng(7);
+    (0..vns)
+        .map(|_| init::normal(&mut rng, [len], 0.0, 1.0))
+        .collect()
+}
+
+fn bench_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_order");
+    group.sample_size(20);
+    for &(vns, len) in &[(8usize, 65_536usize), (32, 65_536), (8, 1_048_576)] {
+        let parts = gradients(vns, len);
+        let arrival: Vec<usize> = (0..vns).rev().collect();
+        group.throughput(Throughput::Bytes((vns * len * 4) as u64));
+        for (name, order) in [
+            ("tree", ReductionOrder::Tree),
+            ("sequential", ReductionOrder::Sequential),
+            ("arrival", ReductionOrder::ArrivalOrder),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{vns}vn_x_{len}")),
+                &order,
+                |b, &order| {
+                    b.iter(|| {
+                        let arrival_ref = (order == ReductionOrder::ArrivalOrder)
+                            .then_some(arrival.as_slice());
+                        black_box(
+                            reduce_mean(black_box(&parts), order, arrival_ref)
+                                .expect("same shapes"),
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion bench: wall-clock cost of the numeric virtual node engine as
+//! virtual nodes and devices vary.
+//!
+//! This measures the *reproduction's* executor (real matmuls on CPU), not
+//! the simulated device model — useful for keeping the engine honest as the
+//! workspace grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use vf_core::{Trainer, TrainerConfig};
+use vf_data::synthetic::ClusterTask;
+use vf_device::DeviceId;
+use vf_models::Mlp;
+
+fn trainer(total_vns: u32, devices: u32) -> Trainer {
+    let dataset = Arc::new(
+        ClusterTask {
+            num_examples: 1024,
+            dim: 32,
+            num_classes: 8,
+            separation: 2.0,
+            spread: 1.0,
+            label_noise: 0.0,
+            seed: 1,
+        }
+        .generate()
+        .expect("generates"),
+    );
+    let arch = Arc::new(Mlp::new(32, vec![64], 8));
+    let ids: Vec<DeviceId> = (0..devices).map(DeviceId).collect();
+    Trainer::new(arch, dataset, TrainerConfig::simple(total_vns, 256, 0.1, 1), &ids)
+        .expect("valid config")
+}
+
+fn bench_step_by_vn_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_by_vn_count");
+    group.sample_size(10);
+    for vns in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(vns), &vns, |b, &vns| {
+            let mut t = trainer(vns, 1);
+            b.iter(|| black_box(t.step().expect("step succeeds")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_step_by_device_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_by_device_threads");
+    group.sample_size(10);
+    for devices in [1u32, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(devices),
+            &devices,
+            |b, &devices| {
+                let mut t = trainer(8, devices);
+                b.iter(|| black_box(t.step().expect("step succeeds")));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_resize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resize");
+    group.sample_size(10);
+    group.bench_function("16_to_4_and_back", |b| {
+        let mut t = trainer(16, 16);
+        let four: Vec<DeviceId> = (0..4).map(DeviceId).collect();
+        let sixteen: Vec<DeviceId> = (0..16).map(DeviceId).collect();
+        b.iter(|| {
+            t.resize(black_box(&four)).expect("resize");
+            t.resize(black_box(&sixteen)).expect("resize");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step_by_vn_count,
+    bench_step_by_device_count,
+    bench_resize
+);
+criterion_main!(benches);

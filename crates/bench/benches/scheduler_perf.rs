@@ -1,0 +1,49 @@
+//! Criterion bench: scheduler allocation latency and full-trace simulation
+//! throughput — the costs a cluster manager would pay per event.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vf_sched::trace::poisson_trace;
+use vf_sched::{run_trace, ElasticWfs, JobState, Scheduler, SimConfig, StaticPriority};
+
+fn jobs(n: u32, config: &SimConfig) -> Vec<JobState> {
+    poisson_trace(n, 30.0, config.num_gpus, 3, &config.link)
+        .into_iter()
+        .map(JobState::new)
+        .collect()
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate");
+    group.sample_size(30);
+    let config = SimConfig::v100_cluster(64);
+    for n in [8u32, 32, 128] {
+        let snapshot = jobs(n, &config);
+        group.bench_with_input(BenchmarkId::new("elastic_wfs", n), &snapshot, |b, s| {
+            let mut sched = ElasticWfs::new();
+            b.iter(|| black_box(sched.allocate(0.0, black_box(s), 64)));
+        });
+        group.bench_with_input(BenchmarkId::new("static_priority", n), &snapshot, |b, s| {
+            let mut sched = StaticPriority::new();
+            b.iter(|| black_box(sched.allocate(0.0, black_box(s), 64)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_trace");
+    group.sample_size(10);
+    let config = SimConfig::v100_cluster(16);
+    let trace = poisson_trace(50, 30.0, 16, 5, &config.link);
+    group.bench_function("elastic_50_jobs", |b| {
+        b.iter(|| black_box(run_trace(&trace, &mut ElasticWfs::new(), &config)));
+    });
+    group.bench_function("static_50_jobs", |b| {
+        b.iter(|| black_box(run_trace(&trace, &mut StaticPriority::new(), &config)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocate, bench_full_trace);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Runs every table/figure harness and ablation in sequence, summarizing
+//! pass/fail — the one-command reproduction entry point.
+//!
+//! ```sh
+//! cargo run --release -p vf-bench --bin run_all
+//! ```
+//!
+//! Each harness binary asserts its own qualitative claims; this driver
+//! invokes the already-built binaries and reports which held.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+/// Every experiment binary, in paper order.
+const EXPERIMENTS: &[&str] = &[
+    "fig02_rte_finetune",
+    "fig04_design_space",
+    "fig06_memory_timeline",
+    "tab01_resnet_repro",
+    "tab02_bert_repro",
+    "fig07_bert_curves",
+    "fig08_resnet_curves",
+    "fig09_update_throughput",
+    "fig10_bs_exploration",
+    "fig11_bs_throughput",
+    "fig12_three_jobs",
+    "fig13_twenty_jobs",
+    "fig14_jct_cdf",
+    "fig15_memory_overhead",
+    "fig16_throughput_vn",
+    "ablate_bootstrap",
+    "ablate_hierarchical",
+    "ablate_capacity_dip",
+    "ablate_noise_scale",
+    "ablate_schedulers",
+    "ablate_conv_repro",
+];
+
+fn sibling_binary(name: &str) -> PathBuf {
+    let mut p = std::env::current_exe().expect("current exe path");
+    p.pop();
+    p.push(name);
+    p
+}
+
+fn main() {
+    println!("== VirtualFlow reproduction: running all {} experiments ==\n", EXPERIMENTS.len());
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let start = Instant::now();
+        let status = Command::new(sibling_binary(name))
+            .stdout(std::process::Stdio::null())
+            .status();
+        let elapsed = start.elapsed().as_secs_f64();
+        match status {
+            Ok(s) if s.success() => {
+                println!("  ok   {name:<28} ({elapsed:.1}s)");
+            }
+            Ok(s) => {
+                println!("  FAIL {name:<28} (exit {s})");
+                failures.push(*name);
+            }
+            Err(e) => {
+                println!("  FAIL {name:<28} (could not run: {e}; build with `cargo build --release -p vf-bench` first)");
+                failures.push(*name);
+            }
+        }
+    }
+    println!();
+    if failures.is_empty() {
+        println!(
+            "all {} experiments reproduced their claims; outputs in results/",
+            EXPERIMENTS.len()
+        );
+    } else {
+        println!("{} experiment(s) failed: {failures:?}", failures.len());
+        std::process::exit(1);
+    }
+}

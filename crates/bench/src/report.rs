@@ -1,0 +1,99 @@
+//! Experiment reporting: aligned console tables plus machine-readable JSON
+//! under `results/`.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where experiment outputs are written (workspace `results/`).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// Serializes `value` to `results/<id>.json`.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or written — harness
+/// binaries have nothing useful to do without their output.
+pub fn emit<T: Serialize>(id: &str, value: &T) {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{id}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    fs::write(&path, json).expect("write result file");
+    println!("\n[wrote {}]", path.display());
+}
+
+/// Prints an aligned table: a header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:>width$}", c, width = widths[i]));
+        }
+        println!("{out}");
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f32) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+/// Relative improvement of `new` over `old`, in percent (positive = lower
+/// is better and `new` is lower).
+pub fn improvement_pct(new: f64, old: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        100.0 * (old - new) / old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_is_signed() {
+        assert_eq!(improvement_pct(50.0, 100.0), 50.0);
+        assert_eq!(improvement_pct(150.0, 100.0), -50.0);
+        assert_eq!(improvement_pct(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.7592), "75.92");
+    }
+
+    #[test]
+    fn emit_writes_json() {
+        emit("selftest", &serde_json::json!({"ok": true}));
+        let p = results_dir().join("selftest.json");
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.contains("ok"));
+        std::fs::remove_file(p).unwrap();
+    }
+}

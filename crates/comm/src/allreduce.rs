@@ -1,0 +1,154 @@
+//! All-reduce: numeric reduction and communication cost model.
+//!
+//! VirtualFlow synchronizes gradients once per step via a Horovod-style ring
+//! all-reduce (paper §2.3, §5). This module provides:
+//!
+//! * [`allreduce`] — the numeric operation over simulated workers' tensors,
+//!   reduced in a fixed worker-rank order so results are deterministic;
+//! * [`ring_allreduce_time_s`] — the standard α–β cost model for a ring
+//!   all-reduce, used by the step-time simulator.
+
+use serde::{Deserialize, Serialize};
+use vf_tensor::reduce::{self, ReductionOrder};
+use vf_tensor::{Tensor, TensorError};
+
+/// Network link characteristics between workers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// One-way message latency in seconds.
+    pub latency_s: f64,
+    /// Per-link bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl LinkProfile {
+    /// The paper's testbed interconnect: 16 Gbps between the two 8-GPU
+    /// servers.
+    pub fn paper_testbed() -> Self {
+        LinkProfile {
+            latency_s: 50.0e-6,
+            bandwidth: 16.0e9 / 8.0,
+        }
+    }
+
+    /// An intra-machine NVLink-class interconnect.
+    pub fn nvlink() -> Self {
+        LinkProfile {
+            latency_s: 5.0e-6,
+            bandwidth: 150.0e9,
+        }
+    }
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile::paper_testbed()
+    }
+}
+
+/// Time for a ring all-reduce of `bytes` across `workers` workers.
+///
+/// Uses the standard model: `2(N−1)` communication phases, each moving
+/// `bytes/N` per link, plus per-phase latency. A single worker costs
+/// nothing — there is nothing to synchronize.
+pub fn ring_allreduce_time_s(bytes: u64, workers: usize, link: &LinkProfile) -> f64 {
+    if workers <= 1 {
+        return 0.0;
+    }
+    let n = workers as f64;
+    let phases = 2.0 * (n - 1.0);
+    phases * (link.latency_s + (bytes as f64 / n) / link.bandwidth)
+}
+
+/// Numerically reduces each worker's tensor to their mean, in worker-rank
+/// order.
+///
+/// Every worker receives the same result, mirroring all-reduce semantics.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Empty`] when `parts` is empty or
+/// [`TensorError::ShapeMismatch`] if workers disagree on shape.
+pub fn allreduce(parts: &[Tensor], order: ReductionOrder) -> Result<Tensor, TensorError> {
+    reduce::reduce_mean(parts, order, None)
+}
+
+/// Numerically sums each worker's tensor, in worker-rank order.
+///
+/// # Errors
+///
+/// Same as [`allreduce`].
+pub fn allreduce_sum(parts: &[Tensor], order: ReductionOrder) -> Result<Tensor, TensorError> {
+    reduce::reduce_sum(parts, order, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_costs_nothing() {
+        assert_eq!(ring_allreduce_time_s(1 << 30, 1, &LinkProfile::default()), 0.0);
+    }
+
+    #[test]
+    fn cost_grows_with_bytes() {
+        let l = LinkProfile::default();
+        assert!(ring_allreduce_time_s(2 << 20, 4, &l) > ring_allreduce_time_s(1 << 20, 4, &l));
+    }
+
+    #[test]
+    fn bandwidth_term_saturates_with_workers() {
+        // For large messages the per-worker transferred volume approaches
+        // 2*bytes/bandwidth regardless of N.
+        let l = LinkProfile {
+            latency_s: 0.0,
+            bandwidth: 1e9,
+        };
+        let bytes = 1u64 << 30;
+        let t4 = ring_allreduce_time_s(bytes, 4, &l);
+        let t64 = ring_allreduce_time_s(bytes, 64, &l);
+        let asymptote = 2.0 * bytes as f64 / l.bandwidth;
+        assert!((t4 - asymptote * 0.75).abs() < 1e-6);
+        assert!(t64 < asymptote * 1.01);
+        assert!(t64 > t4);
+    }
+
+    #[test]
+    fn latency_term_grows_linearly_with_workers() {
+        let l = LinkProfile {
+            latency_s: 1e-3,
+            bandwidth: f64::INFINITY,
+        };
+        let t4 = ring_allreduce_time_s(1, 4, &l);
+        let t8 = ring_allreduce_time_s(1, 8, &l);
+        assert!((t4 - 6.0e-3).abs() < 1e-9);
+        assert!((t8 - 14.0e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_returns_the_mean() {
+        let parts = vec![
+            Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap(),
+            Tensor::from_vec(vec![3.0, 6.0], [2]).unwrap(),
+        ];
+        let r = allreduce(&parts, ReductionOrder::Tree).unwrap();
+        assert_eq!(r.data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn allreduce_sum_matches_manual_sum() {
+        let parts: Vec<Tensor> = (0..5).map(|i| Tensor::full([3], i as f32)).collect();
+        let r = allreduce_sum(&parts, ReductionOrder::Sequential).unwrap();
+        assert_eq!(r.data(), &[10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn nvlink_is_faster_than_testbed() {
+        let bytes = 100 << 20;
+        assert!(
+            ring_allreduce_time_s(bytes, 8, &LinkProfile::nvlink())
+                < ring_allreduce_time_s(bytes, 8, &LinkProfile::paper_testbed())
+        );
+    }
+}

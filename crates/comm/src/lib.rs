@@ -1,0 +1,31 @@
+//! # vf-comm
+//!
+//! Simulated collective communication for the VirtualFlow reproduction.
+//!
+//! VirtualFlow (MLSys 2022) uses Horovod as the "narrow waist" that connects
+//! a *changing* set of worker processes. This crate stands in for it with:
+//!
+//! * [`allreduce`] — deterministic numeric all-reduce plus the standard α–β
+//!   ring cost model used by the step-time simulator;
+//! * [`membership`] — an elastic worker group with generations and the
+//!   asynchronous-bootstrap join protocol of paper §5.
+//!
+//! ## Example
+//!
+//! ```
+//! use vf_comm::allreduce::{ring_allreduce_time_s, LinkProfile};
+//!
+//! // Synchronizing 100 MB of ResNet-50 gradients across 8 workers:
+//! let t = ring_allreduce_time_s(100 << 20, 8, &LinkProfile::paper_testbed());
+//! assert!(t > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod allreduce;
+pub mod membership;
+pub mod topology;
+
+pub use allreduce::LinkProfile;
+pub use membership::{BootstrapPolicy, ElasticGroup, WorkerId};
+pub use topology::Topology;

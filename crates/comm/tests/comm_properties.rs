@@ -1,0 +1,91 @@
+//! Property-based tests for the communication substrate.
+
+use proptest::prelude::*;
+use vf_comm::allreduce::{allreduce, ring_allreduce_time_s, LinkProfile};
+use vf_comm::{BootstrapPolicy, ElasticGroup, Topology, WorkerId};
+use vf_tensor::reduce::ReductionOrder;
+use vf_tensor::{init, Tensor};
+
+proptest! {
+    /// Ring all-reduce cost is monotone in bytes and nonnegative; a single
+    /// worker is free.
+    #[test]
+    fn allreduce_cost_is_sane(bytes in 1u64..1u64 << 32, workers in 1usize..65) {
+        let link = LinkProfile::paper_testbed();
+        let t = ring_allreduce_time_s(bytes, workers, &link);
+        prop_assert!(t >= 0.0);
+        prop_assert_eq!(t == 0.0, workers == 1);
+        if workers > 1 {
+            prop_assert!(ring_allreduce_time_s(bytes * 2, workers, &link) > t);
+        }
+    }
+
+    /// Hierarchical all-reduce never loses to the flat ring on the paper
+    /// topology (equal within one node, strictly better across nodes for
+    /// non-trivial messages).
+    #[test]
+    fn hierarchical_never_loses(bytes in 1u64 << 16..1u64 << 30, gpus in 1usize..17) {
+        let topo = Topology::paper_testbed();
+        let flat = topo.flat_allreduce_time_s(bytes, gpus);
+        let hier = topo.hierarchical_allreduce_time_s(bytes, gpus);
+        prop_assert!(hier <= flat * (1.0 + 1e-9), "gpus={gpus}: {hier} > {flat}");
+        if gpus > topo.gpus_per_node {
+            prop_assert!(hier < flat, "crossing nodes must strictly win");
+        }
+    }
+
+    /// The numeric all-reduce returns the exact mean for integer-valued
+    /// tensors, in every reduction order.
+    #[test]
+    fn numeric_allreduce_means_integers(n in 1usize..9, len in 1usize..17) {
+        let parts: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::full([len], (i * 2) as f32))
+            .collect();
+        let expected = (0..n).map(|i| (i * 2) as f32).sum::<f32>() / n as f32;
+        for order in [ReductionOrder::Tree, ReductionOrder::Sequential] {
+            let r = allreduce(&parts, order).unwrap();
+            // n*(n-1) is even, so the mean is exactly representable here
+            // only when it is an integer or half-integer; compare to f32 sum.
+            prop_assert!(r.data().iter().all(|&v| (v - expected).abs() < 1e-4));
+        }
+    }
+
+    /// Numeric all-reduce of identical tensors is the identity.
+    #[test]
+    fn allreduce_of_identical_parts_is_identity(n in 1usize..9, seed in any::<u64>()) {
+        let t = init::normal(&mut init::rng(seed), [8], 0.0, 1.0);
+        let parts = vec![t.clone(); n];
+        let r = allreduce(&parts, ReductionOrder::Tree).unwrap();
+        prop_assert!(r.approx_eq(&t, 1e-5));
+    }
+
+    /// Membership: any interleaving of joins/leaves/admissions keeps the
+    /// group consistent (no duplicates, generation only moves forward).
+    #[test]
+    fn membership_stays_consistent(
+        ops in proptest::collection::vec((0u32..12, 0u8..3), 1..40),
+    ) {
+        let mut g = ElasticGroup::new((0..2).map(WorkerId));
+        let mut now = 0.0;
+        let mut last_gen = g.generation();
+        for (w, op) in ops {
+            now += 1.0;
+            match op {
+                0 => g.request_join(WorkerId(w), now, 5.0),
+                1 => { g.remove(WorkerId(w), now); }
+                _ => { g.admit_ready(now); }
+            }
+            prop_assert!(g.generation() >= last_gen);
+            last_gen = g.generation();
+            let mut sorted = g.active().to_vec();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), g.active().len(), "duplicate members");
+            // Nobody is simultaneously active and bootstrapping.
+            for (w, _) in g.bootstrapping() {
+                prop_assert!(!g.active().contains(&w));
+            }
+            // Async joins never stall the group.
+            prop_assert_eq!(g.stall_time_s(BootstrapPolicy::Async, now), 0.0);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Autoscaling heuristics: how many devices is a job *worth*?
+//!
+//! The paper builds on Or et al. (2020), whose autoscaling heuristics it
+//! calls complementary: with virtual nodes making resizes free, a job can
+//! continuously seek the allocation where its *scaling efficiency* — the
+//! throughput per device relative to one device — is still acceptable, and
+//! release the rest of the cluster. This module evaluates candidate
+//! allocations against the step-time model and recommends one.
+
+use crate::perf_model::{throughput, ExecutionShape};
+use serde::{Deserialize, Serialize};
+use vf_comm::LinkProfile;
+use vf_device::DeviceProfile;
+use vf_models::ModelProfile;
+
+/// Policy for choosing an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalePolicy {
+    /// Minimum acceptable scaling efficiency
+    /// `throughput(g) / (g · throughput(1))` for the chosen `g`.
+    pub min_efficiency: f64,
+    /// Upper bound on devices (the job's demand or a cluster cap).
+    pub max_devices: u32,
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        AutoscalePolicy {
+            min_efficiency: 0.75,
+            max_devices: 16,
+        }
+    }
+}
+
+/// One evaluated candidate allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocationPoint {
+    /// Devices used.
+    pub devices: u32,
+    /// Virtual nodes per device at this allocation.
+    pub vn_per_device: u32,
+    /// Modeled training throughput, examples/second.
+    pub throughput: f64,
+    /// Scaling efficiency relative to one device.
+    pub efficiency: f64,
+}
+
+/// Evaluates every feasible allocation `1..=min(total_vns, max_devices)`
+/// for a job with `total_vns` virtual nodes of `micro_batch` examples.
+pub fn scaling_curve(
+    model: &ModelProfile,
+    device: DeviceProfile,
+    link: &LinkProfile,
+    total_vns: u32,
+    micro_batch: usize,
+    max_devices: u32,
+) -> Vec<AllocationPoint> {
+    let cap = total_vns.min(max_devices).max(1);
+    let base = throughput(
+        model,
+        &ExecutionShape::homogeneous(device, 1, total_vns as usize, micro_batch),
+        link,
+    );
+    (1..=cap)
+        .map(|g| {
+            let vn_per_device = total_vns.div_ceil(g);
+            // Balanced distribution: the slowest device carries ceil(N/g).
+            let shape = ExecutionShape {
+                devices: (0..g)
+                    .map(|i| {
+                        let extra = total_vns % g;
+                        let count = total_vns / g + u32::from(i < extra);
+                        (device, count as usize)
+                    })
+                    .collect(),
+                micro_batch,
+            };
+            let t = throughput(model, &shape, link);
+            AllocationPoint {
+                devices: g,
+                vn_per_device,
+                throughput: t,
+                efficiency: t / (g as f64 * base),
+            }
+        })
+        .collect()
+}
+
+/// Recommends the largest allocation whose scaling efficiency stays at or
+/// above the policy threshold. Always returns at least 1.
+pub fn recommend(
+    model: &ModelProfile,
+    device: DeviceProfile,
+    link: &LinkProfile,
+    total_vns: u32,
+    micro_batch: usize,
+    policy: AutoscalePolicy,
+) -> AllocationPoint {
+    let curve = scaling_curve(model, device, link, total_vns, micro_batch, policy.max_devices);
+    curve
+        .iter()
+        .rev()
+        .find(|p| p.efficiency >= policy.min_efficiency)
+        .copied()
+        .unwrap_or(curve[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_device::DeviceType;
+    use vf_models::profile::{bert_base, resnet50, resnet56};
+
+    fn v100() -> DeviceProfile {
+        DeviceProfile::of(DeviceType::V100)
+    }
+
+    #[test]
+    fn curve_covers_all_allocations() {
+        let c = scaling_curve(&resnet50(), v100(), &LinkProfile::nvlink(), 8, 64, 16);
+        assert_eq!(c.len(), 8); // capped by total_vns
+        assert_eq!(c[0].devices, 1);
+        assert!((c[0].efficiency - 1.0).abs() < 1e-9, "1 device is the reference");
+    }
+
+    #[test]
+    fn efficiency_declines_with_devices() {
+        // Not strictly monotone (uneven VN splits create plateaus), but the
+        // trend is down: each divisor allocation is less efficient than the
+        // previous one, and the extremes are far apart.
+        let c = scaling_curve(&resnet50(), v100(), &LinkProfile::paper_testbed(), 16, 64, 16);
+        let eff = |g: u32| c[(g - 1) as usize].efficiency;
+        assert!(eff(2) < eff(1));
+        assert!(eff(4) < eff(2));
+        assert!(eff(8) < eff(4));
+        assert!(eff(16) < 0.5 * eff(1));
+    }
+
+    #[test]
+    fn slow_links_recommend_fewer_devices_than_fast_links() {
+        let model = bert_base(); // 440 MB of gradients to synchronize
+        let policy = AutoscalePolicy::default();
+        let slow = recommend(&model, v100(), &LinkProfile::paper_testbed(), 16, 8, policy);
+        let fast = recommend(&model, v100(), &LinkProfile::nvlink(), 16, 8, policy);
+        assert!(
+            slow.devices < fast.devices,
+            "slow {} vs fast {}",
+            slow.devices,
+            fast.devices
+        );
+    }
+
+    #[test]
+    fn compute_heavy_small_sync_jobs_scale_out() {
+        // ResNet-56 has tiny gradients: on NVLink it scales much further
+        // than BERT-BASE does over the slow inter-server link.
+        let small = recommend(
+            &resnet56(),
+            v100(),
+            &LinkProfile::nvlink(),
+            16,
+            64,
+            AutoscalePolicy::default(),
+        );
+        let big = recommend(
+            &bert_base(),
+            v100(),
+            &LinkProfile::paper_testbed(),
+            16,
+            8,
+            AutoscalePolicy::default(),
+        );
+        assert!(small.devices >= 8, "got {}", small.devices);
+        assert!(small.devices > big.devices);
+    }
+
+    #[test]
+    fn recommendation_never_exceeds_caps() {
+        let rec = recommend(
+            &resnet50(),
+            v100(),
+            &LinkProfile::nvlink(),
+            4,
+            64,
+            AutoscalePolicy {
+                min_efficiency: 0.0,
+                max_devices: 100,
+            },
+        );
+        assert!(rec.devices <= 4, "cannot exceed virtual nodes");
+    }
+
+    #[test]
+    fn impossible_threshold_falls_back_to_one_device() {
+        let rec = recommend(
+            &bert_base(),
+            v100(),
+            &LinkProfile::paper_testbed(),
+            16,
+            8,
+            AutoscalePolicy {
+                min_efficiency: 2.0, // unobtainable
+                max_devices: 16,
+            },
+        );
+        assert_eq!(rec.devices, 1);
+    }
+}

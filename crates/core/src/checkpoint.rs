@@ -1,0 +1,104 @@
+//! Trainer checkpointing.
+//!
+//! VirtualFlow's elasticity and fault tolerance deliberately avoid *relying*
+//! on checkpoints (paper §8 criticizes restart-based resizing), but
+//! checkpoints still matter: jobs survive whole-cluster restarts, and the
+//! checkpoint-restart ablation needs a faithful implementation to compare
+//! against. A [`Checkpoint`] captures everything a trajectory depends on —
+//! parameters, optimizer state, step counter, and per-device stateful
+//! kernels — and restoring onto *any* device set continues the run
+//! bit-for-bit, because the virtual node count travels with the config.
+
+use crate::config::TrainerConfig;
+use serde::{Deserialize, Serialize};
+use vf_tensor::optim::OptimizerState;
+use vf_tensor::Tensor;
+
+/// A complete snapshot of a training job, independent of any device layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The job's hyperparameters (including the virtual node count).
+    pub config: TrainerConfig,
+    /// Steps completed at snapshot time.
+    pub step: u64,
+    /// Model parameters.
+    pub params: Vec<Tensor>,
+    /// Optimizer state (momentum / Adam moments, counters).
+    pub optimizer: OptimizerState,
+    /// Stateful kernels of each device replica at snapshot time, in device
+    /// order. On restore these are dealt to the new devices round-robin —
+    /// the same "fetch from a peer" semantics as live migration.
+    pub stateful: Vec<Vec<Tensor>>,
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialization fails (it cannot for
+    /// these types under normal conditions).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Total payload size in bytes (parameters + optimizer + kernels).
+    pub fn size_bytes(&self) -> usize {
+        let params: usize = self.params.iter().map(Tensor::size_bytes).sum();
+        let opt: usize = self.optimizer.tensors.iter().map(Tensor::size_bytes).sum();
+        let kernels: usize = self
+            .stateful
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(Tensor::size_bytes)
+            .sum();
+        params + opt + kernels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_tensor::optim::OptimizerState;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            config: TrainerConfig::simple(4, 32, 0.1, 7),
+            step: 12,
+            params: vec![Tensor::ones([2, 3])],
+            optimizer: OptimizerState {
+                tensors: vec![Tensor::zeros([2, 3])],
+                steps: 12,
+            },
+            stateful: vec![vec![Tensor::full([3], 0.5)]],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let c = sample();
+        let json = c.to_json().unwrap();
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn size_counts_all_tensors() {
+        // 6 + 6 + 3 floats = 60 bytes.
+        assert_eq!(sample().size_bytes(), 60);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Checkpoint::from_json("{not json").is_err());
+    }
+}

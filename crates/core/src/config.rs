@@ -1,0 +1,155 @@
+//! Job configuration for virtual node training.
+
+use serde::{Deserialize, Serialize};
+use vf_data::DistributionMode;
+use vf_tensor::optim::{Adam, Lamb, Lars, LrSchedule, Optimizer, Sgd};
+use vf_tensor::reduce::ReductionOrder;
+
+/// Which optimizer family to use (the learning rate comes from the
+/// schedule).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerConfig {
+    /// SGD with momentum and optional weight decay (the paper's ResNet
+    /// recipe).
+    Sgd {
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f32,
+        /// Decoupled L2 weight decay.
+        weight_decay: f32,
+    },
+    /// Adam/AdamW (the paper's BERT recipe).
+    Adam {
+        /// Decoupled weight decay (0 gives plain Adam).
+        weight_decay: f32,
+    },
+    /// LARS (You et al. 2017) — the large-batch optimizer §2.1 cites.
+    Lars {
+        /// L2 weight decay folded into the trust ratio.
+        weight_decay: f32,
+    },
+    /// LAMB (You et al. 2019) — layer-wise adaptive Adam for large batches.
+    Lamb {
+        /// Decoupled weight decay.
+        weight_decay: f32,
+    },
+}
+
+impl OptimizerConfig {
+    /// Plain SGD.
+    pub fn sgd() -> Self {
+        OptimizerConfig::Sgd {
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// SGD with momentum 0.9.
+    pub fn sgd_momentum() -> Self {
+        OptimizerConfig::Sgd {
+            momentum: 0.9,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Plain Adam.
+    pub fn adam() -> Self {
+        OptimizerConfig::Adam { weight_decay: 0.0 }
+    }
+
+    /// Builds the optimizer with an initial learning rate.
+    pub fn build(&self, lr: f32) -> Box<dyn Optimizer + Send> {
+        match *self {
+            OptimizerConfig::Sgd {
+                momentum,
+                weight_decay,
+            } => Box::new(Sgd::with_momentum(lr, momentum).with_weight_decay(weight_decay)),
+            OptimizerConfig::Adam { weight_decay } => {
+                Box::new(Adam::new(lr).with_weight_decay(weight_decay))
+            }
+            OptimizerConfig::Lars { weight_decay } => {
+                Box::new(Lars::new(lr).with_weight_decay(weight_decay))
+            }
+            OptimizerConfig::Lamb { weight_decay } => {
+                Box::new(Lamb::new(lr).with_weight_decay(weight_decay))
+            }
+        }
+    }
+}
+
+/// Complete hyperparameter/configuration set of one training job.
+///
+/// Note what is *absent*: anything about physical devices. Decoupling the
+/// model from the hardware means the same `TrainerConfig` runs unchanged on
+/// 1 or 16 GPUs (paper §1.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Total number of virtual nodes (fixed for the job's lifetime).
+    pub total_vns: u32,
+    /// Global batch size; must be divisible by `total_vns`.
+    pub batch_size: usize,
+    /// Seed governing initialization and data order.
+    pub seed: u64,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// Optimizer family.
+    pub optimizer: OptimizerConfig,
+    /// Order in which virtual node gradients are reduced.
+    pub reduction: ReductionOrder,
+    /// Dataset distribution mode (constrains when resizes are legal).
+    pub distribution: DistributionMode,
+    /// Optional global gradient-norm clip applied to the synchronized
+    /// gradient (standard for transformer finetuning).
+    #[serde(default)]
+    pub clip_norm: Option<f32>,
+}
+
+impl TrainerConfig {
+    /// A config with constant learning rate and plain SGD — the common case
+    /// in tests.
+    pub fn simple(total_vns: u32, batch_size: usize, lr: f32, seed: u64) -> Self {
+        TrainerConfig {
+            total_vns,
+            batch_size,
+            seed,
+            schedule: LrSchedule::Constant { lr },
+            optimizer: OptimizerConfig::sgd(),
+            reduction: ReductionOrder::Tree,
+            distribution: DistributionMode::Replicated,
+            clip_norm: None,
+        }
+    }
+
+    /// The per-virtual-node micro-batch size.
+    pub fn micro_batch(&self) -> usize {
+        self.batch_size / self.total_vns as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_working_optimizers() {
+        let mut o = OptimizerConfig::sgd_momentum().build(0.1);
+        assert_eq!(o.learning_rate(), 0.1);
+        o.set_learning_rate(0.2);
+        assert_eq!(o.learning_rate(), 0.2);
+        let a = OptimizerConfig::adam().build(1e-3);
+        assert_eq!(a.learning_rate(), 1e-3);
+    }
+
+    #[test]
+    fn micro_batch_divides_evenly() {
+        let c = TrainerConfig::simple(8, 64, 0.1, 0);
+        assert_eq!(c.micro_batch(), 8);
+    }
+
+    #[test]
+    fn config_serializes_round_trip() {
+        let c = TrainerConfig::simple(4, 32, 0.05, 7);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TrainerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,166 @@
+//! Training diagnostics built on virtual node structure.
+//!
+//! Because every step already computes one gradient *per virtual node*,
+//! VirtualFlow gets gradient statistics almost for free. The most useful is
+//! the **simple gradient noise scale** (McCandlish et al. 2018),
+//! `B_simple = b · E‖g_i − ḡ‖² / ‖ḡ‖²` for micro-batch size `b`: batches
+//! far below `B_simple` are noise-dominated (training tolerates — or even
+//! needs — more averaging), batches far above it waste parallelism. This is
+//! the quantity behind §6.3's observation that some tasks (RTE) reward
+//! larger batches while others (SST-2) are indifferent.
+
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use vf_data::batching::{shard_indices, BatchPlan};
+use vf_data::Dataset;
+use vf_models::trainable::Architecture;
+use vf_tensor::reduce::{reduce_mean, ReductionOrder};
+use vf_tensor::Tensor;
+
+/// A gradient noise estimate from one batch's virtual node gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseScaleReport {
+    /// The simple noise scale `B_simple`, in examples.
+    pub b_simple: f64,
+    /// Squared norm of the mean gradient.
+    pub mean_grad_sq: f64,
+    /// Mean squared deviation of per-VN gradients from the mean.
+    pub variance: f64,
+    /// Micro-batch size each virtual node processed.
+    pub micro_batch: usize,
+    /// Number of virtual node gradients used.
+    pub samples: usize,
+}
+
+/// Estimates the gradient noise scale of `arch` at `params` using the
+/// per-virtual-node gradients of one global batch.
+///
+/// # Errors
+///
+/// Propagates shard/model errors; requires at least two virtual nodes.
+pub fn estimate_noise_scale(
+    arch: &Arc<dyn Architecture>,
+    params: &[Tensor],
+    dataset: &Dataset,
+    batch_size: usize,
+    total_vns: u32,
+    seed: u64,
+) -> Result<NoiseScaleReport, CoreError> {
+    if total_vns < 2 {
+        return Err(CoreError::NoVirtualNodes);
+    }
+    let plan = BatchPlan::new(dataset.len(), batch_size, seed)?;
+    let batch = plan.batch(0, 0);
+    let shards = shard_indices(&batch.indices, total_vns as usize)?;
+    let micro_batch = batch_size / total_vns as usize;
+
+    let mut per_vn: Vec<Vec<Tensor>> = Vec::with_capacity(shards.len());
+    for shard in &shards {
+        let (x, y) = dataset.gather(shard)?;
+        let mut stateful = arch.init_stateful();
+        let report = arch.grad(params, &mut stateful, &x, &y)?;
+        per_vn.push(report.grads);
+    }
+    // Mean gradient across virtual nodes, per parameter.
+    let num_params = params.len();
+    let mut mean_grads = Vec::with_capacity(num_params);
+    for p in 0..num_params {
+        let parts: Vec<Tensor> = per_vn.iter().map(|g| g[p].clone()).collect();
+        mean_grads.push(reduce_mean(&parts, ReductionOrder::Tree, None)?);
+    }
+    let mean_grad_sq: f64 = mean_grads
+        .iter()
+        .map(|g| g.data().iter().map(|&v| (v as f64).powi(2)).sum::<f64>())
+        .sum();
+    // Unbiased variance of per-VN gradients around the mean.
+    let n = per_vn.len() as f64;
+    let mut variance = 0.0f64;
+    for grads in &per_vn {
+        for (g, m) in grads.iter().zip(mean_grads.iter()) {
+            variance += g
+                .data()
+                .iter()
+                .zip(m.data().iter())
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum::<f64>();
+        }
+    }
+    variance /= (n - 1.0).max(1.0) * n; // variance of the per-VN mean spread
+    let variance = variance * n; // variance of a single VN gradient
+    let b_simple = if mean_grad_sq > 0.0 {
+        micro_batch as f64 * variance / mean_grad_sq
+    } else {
+        f64::INFINITY
+    };
+    Ok(NoiseScaleReport {
+        b_simple,
+        mean_grad_sq,
+        variance,
+        micro_batch,
+        samples: per_vn.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_data::synthetic::ClusterTask;
+    use vf_models::Mlp;
+
+    fn setup(noise: f32, seed: u64) -> (Arc<dyn Architecture>, Dataset, Vec<Tensor>) {
+        let dataset = ClusterTask {
+            num_examples: 1024,
+            dim: 12,
+            num_classes: 3,
+            separation: 1.5,
+            spread: 1.0,
+            label_noise: noise,
+            seed,
+        }
+        .generate()
+        .unwrap();
+        let arch: Arc<dyn Architecture> = Arc::new(Mlp::linear(12, 3));
+        let params = arch.init_params(seed);
+        (arch, dataset, params)
+    }
+
+    #[test]
+    fn requires_at_least_two_vns() {
+        let (arch, data, params) = setup(0.1, 0);
+        assert!(estimate_noise_scale(&arch, &params, &data, 64, 1, 0).is_err());
+    }
+
+    #[test]
+    fn noise_scale_is_positive_and_finite_at_init() {
+        let (arch, data, params) = setup(0.1, 1);
+        let r = estimate_noise_scale(&arch, &params, &data, 256, 16, 1).unwrap();
+        assert!(r.b_simple.is_finite());
+        assert!(r.b_simple > 0.0);
+        assert_eq!(r.micro_batch, 16);
+        assert_eq!(r.samples, 16);
+    }
+
+    #[test]
+    fn noisier_tasks_have_larger_noise_scales() {
+        // More label noise ⇒ more gradient variance relative to the signal.
+        let (arch, clean_data, params) = setup(0.0, 2);
+        let (_, noisy_data, _) = setup(0.4, 2);
+        let clean = estimate_noise_scale(&arch, &params, &clean_data, 256, 16, 2).unwrap();
+        let noisy = estimate_noise_scale(&arch, &params, &noisy_data, 256, 16, 2).unwrap();
+        assert!(
+            noisy.b_simple > clean.b_simple,
+            "noisy {} vs clean {}",
+            noisy.b_simple,
+            clean.b_simple
+        );
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let (arch, data, params) = setup(0.2, 3);
+        let a = estimate_noise_scale(&arch, &params, &data, 128, 8, 3).unwrap();
+        let b = estimate_noise_scale(&arch, &params, &data, 128, 8, 3).unwrap();
+        assert_eq!(a, b);
+    }
+}

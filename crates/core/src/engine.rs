@@ -1,0 +1,766 @@
+//! The virtual node training engine.
+//!
+//! [`Trainer`] executes synchronous data-parallel training over virtual
+//! nodes (paper §3.2):
+//!
+//! 1. each global batch is split into `N` equal virtual node shards in
+//!    logical VN order (never device order);
+//! 2. devices process their assigned virtual nodes **sequentially** (waves),
+//!    while different devices run **in parallel** (one thread per device);
+//! 3. per-VN gradients are accumulated and synchronized **once per step**,
+//!    then the optimizer applies exactly one update.
+//!
+//! Because the shard decomposition, gradient reduction order, and optimizer
+//! state depend only on the virtual node count — not on the device mapping —
+//! the resulting parameter trajectory is *bit-for-bit identical* across any
+//! device count or resize schedule. That is the paper's reproducibility
+//! guarantee, and the property the integration tests assert.
+//!
+//! Batch-norm moving statistics are the exception, faithfully reproduced
+//! from §5.1: they are per-device "stateful kernels", updated in the order a
+//! device runs its virtual nodes, and migrated (not reset) on resizes.
+
+use crate::checkpoint::Checkpoint;
+use crate::config::TrainerConfig;
+use crate::vnode::{MigrationPlan, VirtualNodeId, VnMapping};
+use crate::CoreError;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vf_data::batching::{shard_indices, BatchPlan, VisitLedger};
+use vf_data::partitioned::PartitionedPlan;
+use vf_data::{Dataset, DistributionMode};
+use vf_device::DeviceId;
+use vf_models::trainable::{Architecture, EvalReport, StatefulState};
+use vf_tensor::ops::clip_global_norm;
+use vf_tensor::optim::Optimizer;
+use vf_tensor::reduce;
+use vf_tensor::Tensor;
+
+/// The batch plan in use, depending on the dataset distribution mode.
+#[derive(Debug, Clone)]
+enum DataPlan {
+    /// Replicated dataset: one global shuffle, sliced into VN shards.
+    Replicated(BatchPlan),
+    /// Partitioned dataset: per-virtual-node partitions and shuffles.
+    Partitioned(PartitionedPlan),
+}
+
+impl DataPlan {
+    fn steps_per_epoch(&self) -> usize {
+        match self {
+            DataPlan::Replicated(p) => p.steps_per_epoch(),
+            DataPlan::Partitioned(p) => p.steps_per_epoch(),
+        }
+    }
+
+    /// The VN shards at absolute `step`, plus `(epoch, step_in_epoch)`.
+    fn shards_at(
+        &self,
+        step: usize,
+        total_vns: usize,
+    ) -> Result<(usize, usize, Vec<Vec<usize>>), CoreError> {
+        match self {
+            DataPlan::Replicated(p) => {
+                let batch = p.batch_at(step);
+                let shards = shard_indices(&batch.indices, total_vns)?;
+                Ok((batch.epoch, batch.step_in_epoch, shards))
+            }
+            DataPlan::Partitioned(p) => {
+                let spe = p.steps_per_epoch();
+                let (epoch, sie) = (step / spe, step % spe);
+                Ok((epoch, sie, p.shards_at(epoch, sie)))
+            }
+        }
+    }
+}
+
+/// The outcome of one training step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// Global step index (0-based) of the step just executed.
+    pub step: u64,
+    /// Epoch the step belonged to.
+    pub epoch: usize,
+    /// Step index within the epoch.
+    pub step_in_epoch: usize,
+    /// Mean training loss over the global batch.
+    pub loss: f32,
+    /// Learning rate applied.
+    pub lr: f32,
+    /// Number of sequential waves (max VNs on any device).
+    pub waves: usize,
+}
+
+/// A synchronous data-parallel trainer over virtual nodes.
+///
+/// # Examples
+///
+/// ```
+/// use vf_core::{Trainer, TrainerConfig};
+/// use vf_data::synthetic::ClusterTask;
+/// use vf_device::DeviceId;
+/// use vf_models::Mlp;
+/// use std::sync::Arc;
+///
+/// let dataset = ClusterTask::easy(0).generate()?;
+/// let arch = Arc::new(Mlp::linear(16, 4));
+/// let config = TrainerConfig::simple(8, 64, 0.2, 0);
+/// let devices: Vec<DeviceId> = (0..2).map(DeviceId).collect();
+/// let mut trainer = Trainer::new(arch, Arc::new(dataset), config, &devices)?;
+/// let report = trainer.step()?;
+/// assert_eq!(report.step, 0);
+/// assert_eq!(report.waves, 4); // 8 VNs on 2 devices
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Trainer {
+    arch: Arc<dyn Architecture>,
+    dataset: Arc<Dataset>,
+    config: TrainerConfig,
+    plan: DataPlan,
+    params: Vec<Tensor>,
+    optimizer: Box<dyn Optimizer + Send>,
+    mapping: VnMapping,
+    replicas: BTreeMap<DeviceId, StatefulState>,
+    step: u64,
+    ledger: Option<VisitLedger>,
+}
+
+impl Trainer {
+    /// Creates a trainer over the given devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BatchNotDivisible`] if the batch size does not
+    /// divide across the virtual nodes, mapping errors from
+    /// [`VnMapping::balanced`], and [`CoreError::Data`] if the batch size
+    /// exceeds the dataset.
+    pub fn new(
+        arch: Arc<dyn Architecture>,
+        dataset: Arc<Dataset>,
+        config: TrainerConfig,
+        devices: &[DeviceId],
+    ) -> Result<Self, CoreError> {
+        if config.total_vns == 0 {
+            return Err(CoreError::NoVirtualNodes);
+        }
+        if !config.batch_size.is_multiple_of(config.total_vns as usize) {
+            return Err(CoreError::BatchNotDivisible {
+                batch_size: config.batch_size,
+                virtual_nodes: config.total_vns,
+            });
+        }
+        let plan = match config.distribution {
+            DistributionMode::Replicated => DataPlan::Replicated(BatchPlan::new(
+                dataset.len(),
+                config.batch_size,
+                config.seed,
+            )?),
+            DistributionMode::Partitioned => DataPlan::Partitioned(PartitionedPlan::new(
+                dataset.len(),
+                config.total_vns,
+                config.batch_size,
+                config.seed,
+            )?),
+        };
+        let mapping = VnMapping::balanced(config.total_vns, devices)?;
+        let params = arch.init_params(config.seed);
+        let optimizer = config.optimizer.build(config.schedule.at(0));
+        let replicas = mapping
+            .devices()
+            .into_iter()
+            .map(|d| (d, arch.init_stateful()))
+            .collect();
+        let ledger = match config.distribution {
+            DistributionMode::Partitioned => Some(VisitLedger::new(dataset.len())),
+            DistributionMode::Replicated => None,
+        };
+        Ok(Trainer {
+            arch,
+            dataset,
+            config,
+            plan,
+            params,
+            optimizer,
+            mapping,
+            replicas,
+            step: 0,
+            ledger,
+        })
+    }
+
+    /// The current model parameters.
+    pub fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// The current VN↔device mapping.
+    pub fn mapping(&self) -> &VnMapping {
+        &self.mapping
+    }
+
+    /// Number of steps executed.
+    pub fn steps_done(&self) -> u64 {
+        self.step
+    }
+
+    /// Steps per epoch of the underlying batch plan.
+    pub fn steps_per_epoch(&self) -> usize {
+        self.plan.steps_per_epoch()
+    }
+
+    /// Whether the trainer sits exactly on an epoch boundary.
+    pub fn at_epoch_boundary(&self) -> bool {
+        (self.step as usize).is_multiple_of(self.plan.steps_per_epoch())
+    }
+
+    /// The stateful kernels of one device replica, if that device is mapped.
+    pub fn replica_stateful(&self, device: DeviceId) -> Option<&StatefulState> {
+        self.replicas.get(&device)
+    }
+
+    /// Discards the replica state of `device`, simulating the loss of that
+    /// device's memory on a crash. Used by [`crate::fault`] before resizing
+    /// away from a failed device.
+    pub(crate) fn discard_replica(&mut self, device: DeviceId) {
+        self.replicas.remove(&device);
+    }
+
+    /// Executes one synchronous training step over the current mapping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard, model, and reduction errors; the trainer state is
+    /// unspecified-but-consistent after an error (no partial optimizer
+    /// update is applied).
+    pub fn step(&mut self) -> Result<StepReport, CoreError> {
+        let lr = self.config.schedule.at(self.step);
+        self.optimizer.set_learning_rate(lr);
+        let (epoch, step_in_epoch, shards) = self
+            .plan
+            .shards_at(self.step as usize, self.config.total_vns as usize)?;
+        if let Some(ledger) = &mut self.ledger {
+            if step_in_epoch == 0 {
+                ledger.reset();
+            }
+            for shard in &shards {
+                ledger.record(shard);
+            }
+        }
+
+        let total_vns = self.config.total_vns as usize;
+        let mut vn_grads: Vec<Option<Vec<Tensor>>> = vec![None; total_vns];
+        let mut vn_losses: Vec<f32> = vec![0.0; total_vns];
+
+        // One thread per device; each processes its VNs sequentially
+        // (waves), updating its own stateful kernels in VN order.
+        let arch = &self.arch;
+        let dataset = &self.dataset;
+        let params = &self.params;
+        let work: Vec<(DeviceId, Vec<VirtualNodeId>, StatefulState)> = self
+            .replicas
+            .iter()
+            .map(|(&d, st)| (d, self.mapping.vns_on(d).to_vec(), st.clone()))
+            .collect();
+
+        type DeviceResult = Result<
+            (DeviceId, StatefulState, Vec<(usize, Vec<Tensor>, f32)>),
+            CoreError,
+        >;
+        let results: Vec<DeviceResult> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .into_iter()
+                .map(|(device, vns, mut stateful)| {
+                    let shards = &shards;
+                    scope.spawn(move |_| -> DeviceResult {
+                        let mut outputs = Vec::with_capacity(vns.len());
+                        for vn in vns {
+                            let shard = &shards[vn.0 as usize];
+                            let (x, y) = dataset.gather(shard)?;
+                            let report = arch.grad(params, &mut stateful, &x, &y)?;
+                            outputs.push((vn.0 as usize, report.grads, report.loss));
+                        }
+                        Ok((device, stateful, outputs))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("device thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+
+        for result in results {
+            let (device, stateful, outputs) = result?;
+            self.replicas.insert(device, stateful);
+            for (vn, grads, loss) in outputs {
+                vn_losses[vn] = loss;
+                vn_grads[vn] = Some(grads);
+            }
+        }
+
+        // Reduce per-parameter gradients over virtual nodes in VN order —
+        // the ordering that makes results independent of the mapping.
+        let vn_grads: Vec<Vec<Tensor>> = vn_grads
+            .into_iter()
+            .map(|g| g.expect("every VN is mapped to exactly one device"))
+            .collect();
+        let num_params = self.params.len();
+        let mut reduced = Vec::with_capacity(num_params);
+        for p in 0..num_params {
+            let parts: Vec<Tensor> = vn_grads.iter().map(|g| g[p].clone()).collect();
+            reduced.push(reduce::reduce_mean(&parts, self.config.reduction, None)?);
+        }
+        if let Some(max_norm) = self.config.clip_norm {
+            clip_global_norm(&mut reduced, max_norm);
+        }
+        self.optimizer.step(&mut self.params, &reduced)?;
+
+        let loss = vn_losses.iter().sum::<f32>() / total_vns as f32;
+        let report = StepReport {
+            step: self.step,
+            epoch,
+            step_in_epoch,
+            loss,
+            lr,
+            waves: self.mapping.waves(),
+        };
+        self.step += 1;
+        Ok(report)
+    }
+
+    /// Runs `n` consecutive steps, returning the last report.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn run_steps(&mut self, n: usize) -> Result<StepReport, CoreError> {
+        assert!(n > 0, "run_steps requires n > 0");
+        let mut last = None;
+        for _ in 0..n {
+            last = Some(self.step()?);
+        }
+        Ok(last.expect("n > 0"))
+    }
+
+    /// Runs exactly one epoch, returning the mean training loss.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing step.
+    pub fn run_epoch(&mut self) -> Result<f32, CoreError> {
+        let spe = self.plan.steps_per_epoch();
+        let mut total = 0.0;
+        for _ in 0..spe {
+            total += self.step()?.loss;
+        }
+        Ok(total / spe as f32)
+    }
+
+    /// Resizes the job onto a new device set, redistributing virtual nodes
+    /// and migrating stateful kernels (paper §4.1, §5.1).
+    ///
+    /// New devices receive the model parameters implicitly (parameters are
+    /// logically replicated) and a *copy of the stateful kernels of the
+    /// device that donated their first migrated virtual node* — the
+    /// stateful-kernel migration the paper requires to avoid resetting
+    /// batch-norm moving statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PartitionedResizeOffEpoch`] if the dataset is
+    /// partitioned and the trainer is mid-epoch, plus mapping errors.
+    pub fn resize(&mut self, new_devices: &[DeviceId]) -> Result<MigrationPlan, CoreError> {
+        if self.config.distribution == DistributionMode::Partitioned && !self.at_epoch_boundary() {
+            return Err(CoreError::PartitionedResizeOffEpoch {
+                steps_into_epoch: self.step as usize % self.plan.steps_per_epoch(),
+            });
+        }
+        let (new_mapping, plan) = self.mapping.redistribute(new_devices)?;
+
+        // Migrate stateful kernels: each new device clones the state of the
+        // device donating its first migrated VN; surviving devices keep
+        // theirs; removed devices' state is dropped after donation.
+        let mut new_replicas: BTreeMap<DeviceId, StatefulState> = BTreeMap::new();
+        for d in new_mapping.devices() {
+            if let Some(existing) = self.replicas.get(&d) {
+                new_replicas.insert(d, existing.clone());
+            } else {
+                let donor = plan
+                    .moves
+                    .iter()
+                    .find(|m| m.to == d)
+                    .map(|m| m.from)
+                    .expect("a new device always receives at least one VN");
+                // Prefer the donating device's state; if it is gone (e.g. it
+                // failed rather than being gracefully released), fetch from
+                // any healthy replica, as §7's fault tolerance prescribes.
+                let donated = self
+                    .replicas
+                    .get(&donor)
+                    .or_else(|| self.replicas.values().next())
+                    .cloned()
+                    .unwrap_or_else(|| self.arch.init_stateful());
+                new_replicas.insert(d, donated);
+            }
+        }
+        self.replicas = new_replicas;
+        self.mapping = new_mapping;
+        Ok(plan)
+    }
+
+    /// Evaluates the model on a dataset in inference mode, using the
+    /// stateful kernels of the lowest-id device (the paper evaluates on one
+    /// worker).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn evaluate(&self, dataset: &Dataset) -> Result<EvalReport, CoreError> {
+        let stateful = self
+            .replicas
+            .values()
+            .next()
+            .cloned()
+            .unwrap_or_else(|| self.arch.init_stateful());
+        Ok(self.arch.eval(
+            &self.params,
+            &stateful,
+            dataset.features(),
+            dataset.labels(),
+        )?)
+    }
+
+    /// Snapshots the complete job state into a [`Checkpoint`].
+    pub fn to_checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            config: self.config.clone(),
+            step: self.step,
+            params: self.params.clone(),
+            optimizer: self.optimizer.export_state(),
+            stateful: self
+                .replicas
+                .values()
+                .map(|s| s.tensors().to_vec())
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a trainer from a checkpoint on a (possibly different) device
+    /// set. Stateful kernels are dealt to the new devices round-robin from
+    /// the snapshot. The continued trajectory is identical to the original
+    /// run's regardless of the device count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Trainer::new`], plus optimizer-state layout
+    /// mismatches if the checkpoint does not match the architecture.
+    pub fn from_checkpoint(
+        arch: Arc<dyn Architecture>,
+        dataset: Arc<Dataset>,
+        checkpoint: Checkpoint,
+        devices: &[DeviceId],
+    ) -> Result<Self, CoreError> {
+        let mut trainer = Trainer::new(arch, dataset, checkpoint.config, devices)?;
+        trainer.params = checkpoint.params;
+        trainer.step = checkpoint.step;
+        trainer.optimizer.import_state(checkpoint.optimizer)?;
+        if !checkpoint.stateful.is_empty() {
+            let donors = checkpoint.stateful;
+            for (i, state) in trainer.replicas.values_mut().enumerate() {
+                *state = StatefulState::new(donors[i % donors.len()].clone());
+            }
+        }
+        Ok(trainer)
+    }
+
+    /// For partitioned datasets: indices whose per-epoch visit count
+    /// violates exactly-once so far this epoch. Empty for replicated mode.
+    pub fn visitation_violations(&self) -> Vec<usize> {
+        match &self.ledger {
+            Some(l) if self.at_epoch_boundary() && self.step > 0 => l.violations(1),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trainer")
+            .field("arch", &self.arch.name())
+            .field("step", &self.step)
+            .field("total_vns", &self.config.total_vns)
+            .field("devices", &self.mapping.num_devices())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_data::synthetic::ClusterTask;
+    use vf_models::Mlp;
+
+    fn devices(n: u32) -> Vec<DeviceId> {
+        (0..n).map(DeviceId).collect()
+    }
+
+    fn make_trainer(total_vns: u32, num_devices: u32, seed: u64) -> Trainer {
+        let dataset = Arc::new(ClusterTask::easy(seed).generate().unwrap());
+        let arch = Arc::new(Mlp::linear(16, 4));
+        let config = TrainerConfig::simple(total_vns, 64, 0.2, seed);
+        Trainer::new(arch, dataset, config, &devices(num_devices)).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_divisibility() {
+        let dataset = Arc::new(ClusterTask::easy(0).generate().unwrap());
+        let arch = Arc::new(Mlp::linear(16, 4));
+        let config = TrainerConfig::simple(7, 64, 0.2, 0);
+        let err = Trainer::new(arch, dataset, config, &devices(2)).unwrap_err();
+        assert!(matches!(err, CoreError::BatchNotDivisible { .. }));
+    }
+
+    #[test]
+    fn step_reports_progress_and_loss_decreases() {
+        let mut t = make_trainer(8, 2, 0);
+        let r0 = t.step().unwrap();
+        assert_eq!(r0.step, 0);
+        assert_eq!(r0.epoch, 0);
+        let early = r0.loss;
+        for _ in 0..30 {
+            t.step().unwrap();
+        }
+        let late = t.step().unwrap().loss;
+        assert!(late < early, "loss should fall: {early} → {late}");
+    }
+
+    #[test]
+    fn trajectories_identical_across_device_counts() {
+        // The headline reproducibility property: same VN count, different
+        // device counts ⇒ bitwise-identical parameters.
+        let mut t1 = make_trainer(8, 1, 3);
+        let mut t2 = make_trainer(8, 2, 3);
+        let mut t8 = make_trainer(8, 8, 3);
+        for _ in 0..6 {
+            let r1 = t1.step().unwrap();
+            let r2 = t2.step().unwrap();
+            let r8 = t8.step().unwrap();
+            assert_eq!(r1.loss, r2.loss);
+            assert_eq!(r1.loss, r8.loss);
+        }
+        assert_eq!(t1.params(), t2.params());
+        assert_eq!(t1.params(), t8.params());
+    }
+
+    #[test]
+    fn resize_preserves_trajectory_exactly() {
+        let mut fixed = make_trainer(8, 4, 5);
+        let mut elastic = make_trainer(8, 4, 5);
+        for step in 0..8 {
+            if step == 2 {
+                elastic.resize(&devices(1)).unwrap();
+            }
+            if step == 5 {
+                elastic.resize(&devices(8)).unwrap();
+            }
+            let a = fixed.step().unwrap();
+            let b = elastic.step().unwrap();
+            assert_eq!(a.loss, b.loss, "step {step}");
+        }
+        assert_eq!(fixed.params(), elastic.params());
+    }
+
+    #[test]
+    fn waves_reflect_mapping() {
+        let t = make_trainer(8, 2, 0);
+        assert_eq!(t.mapping().waves(), 4);
+        let t = make_trainer(8, 8, 0);
+        assert_eq!(t.mapping().waves(), 1);
+    }
+
+    #[test]
+    fn partitioned_resize_mid_epoch_is_rejected() {
+        let dataset = Arc::new(ClusterTask::easy(0).generate().unwrap());
+        let arch = Arc::new(Mlp::linear(16, 4));
+        let mut config = TrainerConfig::simple(4, 64, 0.2, 0);
+        config.distribution = DistributionMode::Partitioned;
+        let mut t = Trainer::new(arch, dataset, config, &devices(2)).unwrap();
+        t.step().unwrap(); // 512/64 = 8 steps per epoch; now mid-epoch
+        let err = t.resize(&devices(1)).unwrap_err();
+        assert!(matches!(err, CoreError::PartitionedResizeOffEpoch { .. }));
+        // Finish the epoch; resize becomes legal.
+        for _ in 1..t.steps_per_epoch() {
+            t.step().unwrap();
+        }
+        assert!(t.at_epoch_boundary());
+        assert!(t.resize(&devices(1)).is_ok());
+    }
+
+    #[test]
+    fn partitioned_mode_visits_each_example_once_per_epoch() {
+        let dataset = Arc::new(ClusterTask::easy(1).generate().unwrap());
+        let arch = Arc::new(Mlp::linear(16, 4));
+        let mut config = TrainerConfig::simple(4, 64, 0.2, 1);
+        config.distribution = DistributionMode::Partitioned;
+        let mut t = Trainer::new(arch, dataset, config, &devices(2)).unwrap();
+        for _ in 0..t.steps_per_epoch() {
+            t.step().unwrap();
+        }
+        assert!(t.visitation_violations().is_empty());
+    }
+
+    #[test]
+    fn evaluation_improves_with_training() {
+        let dataset = ClusterTask::easy(2).generate().unwrap();
+        let mut t = make_trainer(4, 2, 2);
+        let before = t.evaluate(&dataset).unwrap();
+        for _ in 0..40 {
+            t.step().unwrap();
+        }
+        let after = t.evaluate(&dataset).unwrap();
+        assert!(after.accuracy > before.accuracy);
+        assert!(after.accuracy > 0.9, "accuracy {}", after.accuracy);
+    }
+
+    #[test]
+    fn stateful_kernels_migrate_on_upsize() {
+        // Train a BN model on one device, then upsize: the new device must
+        // carry the donor's (non-initial) moving statistics.
+        let dataset = Arc::new(ClusterTask::easy(3).generate().unwrap());
+        let arch = Arc::new(Mlp::new(16, vec![8], 4).with_batch_norm());
+        let config = TrainerConfig::simple(4, 64, 0.1, 3);
+        let mut t = Trainer::new(arch.clone(), dataset, config, &devices(1)).unwrap();
+        for _ in 0..4 {
+            t.step().unwrap();
+        }
+        let donor_state = t.replica_stateful(DeviceId(0)).unwrap().clone();
+        assert_ne!(donor_state, arch.init_stateful());
+        t.resize(&devices(2)).unwrap();
+        let new_state = t.replica_stateful(DeviceId(1)).unwrap();
+        assert_eq!(new_state, &donor_state, "stateful kernels must migrate, not reset");
+    }
+
+    #[test]
+    fn run_epoch_advances_exactly_one_epoch() {
+        let mut t = make_trainer(4, 2, 4);
+        let spe = t.steps_per_epoch();
+        t.run_epoch().unwrap();
+        assert_eq!(t.steps_done() as usize, spe);
+        assert!(t.at_epoch_boundary());
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_identically() {
+        let mut original = make_trainer(8, 2, 21);
+        original.run_steps(5).unwrap();
+        let snapshot = original.to_checkpoint();
+        assert_eq!(snapshot.step, 5);
+
+        // Restore onto a different device count and keep training both.
+        let dataset = Arc::new(ClusterTask::easy(21).generate().unwrap());
+        let arch: Arc<dyn Architecture> = Arc::new(Mlp::linear(16, 4));
+        let mut restored =
+            Trainer::from_checkpoint(arch, dataset, snapshot, &devices(8)).unwrap();
+        original.run_steps(4).unwrap();
+        restored.run_steps(4).unwrap();
+        assert_eq!(original.params(), restored.params());
+        assert_eq!(original.steps_done(), restored.steps_done());
+    }
+
+    #[test]
+    fn checkpoint_json_round_trip_preserves_trajectory() {
+        let dataset = Arc::new(ClusterTask::easy(22).generate().unwrap());
+        let arch = Arc::new(Mlp::new(16, vec![8], 4).with_batch_norm());
+        let config = TrainerConfig::simple(4, 64, 0.1, 22);
+        let mut a =
+            Trainer::new(arch.clone(), dataset.clone(), config.clone(), &devices(2)).unwrap();
+        a.run_steps(3).unwrap();
+        let json = a.to_checkpoint().to_json().unwrap();
+        let restored_ckpt = Checkpoint::from_json(&json).unwrap();
+        let mut b =
+            Trainer::from_checkpoint(arch, dataset, restored_ckpt, &devices(4)).unwrap();
+        a.run_steps(2).unwrap();
+        b.run_steps(2).unwrap();
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn partitioned_mode_is_also_device_independent() {
+        let dataset = Arc::new(ClusterTask::easy(23).generate().unwrap());
+        let arch = Arc::new(Mlp::linear(16, 4));
+        let mk = |n_dev: u32| {
+            let mut config = TrainerConfig::simple(8, 64, 0.2, 23);
+            config.distribution = DistributionMode::Partitioned;
+            Trainer::new(arch.clone(), dataset.clone(), config, &devices(n_dev)).unwrap()
+        };
+        let mut a = mk(1);
+        let mut b = mk(8);
+        for _ in 0..a.steps_per_epoch() {
+            a.step().unwrap();
+            b.step().unwrap();
+        }
+        assert_eq!(a.params(), b.params());
+        assert!(a.visitation_violations().is_empty());
+        assert!(b.visitation_violations().is_empty());
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_the_update() {
+        let dataset = Arc::new(ClusterTask::easy(24).generate().unwrap());
+        let arch = Arc::new(Mlp::linear(16, 4));
+        let mut config = TrainerConfig::simple(4, 64, 1.0, 24);
+        config.clip_norm = Some(1e-3);
+        let mut clipped =
+            Trainer::new(arch.clone(), dataset.clone(), config, &devices(1)).unwrap();
+        let mut free = Trainer::new(
+            arch,
+            dataset,
+            TrainerConfig::simple(4, 64, 1.0, 24),
+            &devices(1),
+        )
+        .unwrap();
+        let before = clipped.params().to_vec();
+        clipped.step().unwrap();
+        free.step().unwrap();
+        let moved = |t: &Trainer| {
+            t.params()
+                .iter()
+                .zip(before.iter())
+                .map(|(a, b)| a.sub(b).unwrap().l2_norm().powi(2))
+                .sum::<f32>()
+                .sqrt()
+        };
+        assert!(moved(&clipped) < moved(&free));
+        assert!(moved(&clipped) <= 1e-3 * 1.01, "update ≤ lr * clip_norm");
+    }
+
+    #[test]
+    fn bn_trainer_converges_across_device_counts_in_accuracy() {
+        // With batch norm, trajectories are *parameter-identical* because BN
+        // batch statistics are computed per virtual node (size B/N), not per
+        // device — the property §5.1 argues for.
+        let dataset = Arc::new(ClusterTask::easy(6).generate().unwrap());
+        let arch = Arc::new(Mlp::new(16, vec![8], 4).with_batch_norm());
+        let mk = |n_dev: u32| {
+            let config = TrainerConfig::simple(8, 64, 0.1, 6);
+            Trainer::new(arch.clone(), dataset.clone(), config, &devices(n_dev)).unwrap()
+        };
+        let mut a = mk(1);
+        let mut b = mk(4);
+        for _ in 0..5 {
+            a.step().unwrap();
+            b.step().unwrap();
+        }
+        assert_eq!(a.params(), b.params());
+    }
+}

@@ -1,0 +1,170 @@
+//! Error types for virtual node processing.
+
+use std::error::Error;
+use std::fmt;
+use vf_data::DataError;
+use vf_device::OomError;
+use vf_models::ModelError;
+use vf_tensor::TensorError;
+
+/// Errors produced by the virtual node engine.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A mapping or trainer was given no devices.
+    NoDevices,
+    /// A mapping was given zero virtual nodes.
+    NoVirtualNodes,
+    /// More devices than virtual nodes — some devices would never do work.
+    TooManyDevices {
+        /// The number of devices offered.
+        devices: usize,
+        /// The number of virtual nodes.
+        virtual_nodes: usize,
+    },
+    /// The global batch size is not divisible by the number of virtual
+    /// nodes (the paper uses equally sized virtual nodes).
+    BatchNotDivisible {
+        /// The global batch size.
+        batch_size: usize,
+        /// The total virtual node count.
+        virtual_nodes: u32,
+    },
+    /// The per-virtual-node micro-batch does not fit in device memory.
+    MicroBatchTooLarge {
+        /// The micro-batch implied by the configuration.
+        micro_batch: usize,
+        /// The largest micro-batch the device can hold.
+        max_micro_batch: usize,
+        /// The device type name.
+        device: String,
+    },
+    /// A resize was requested off an epoch boundary with a partitioned
+    /// dataset (paper §5.1: exactly-once visitation would break).
+    PartitionedResizeOffEpoch {
+        /// Steps into the current epoch.
+        steps_into_epoch: usize,
+    },
+    /// The model-parallel configuration is inconsistent.
+    BadPartitioning {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A dataset/pipeline operation failed.
+    Data(DataError),
+    /// A model operation failed.
+    Model(ModelError),
+    /// A simulated device ran out of memory.
+    Oom(OomError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoDevices => write!(f, "no devices provided"),
+            CoreError::NoVirtualNodes => write!(f, "virtual node count must be positive"),
+            CoreError::TooManyDevices {
+                devices,
+                virtual_nodes,
+            } => write!(
+                f,
+                "{devices} devices exceed {virtual_nodes} virtual nodes; some devices would idle"
+            ),
+            CoreError::BatchNotDivisible {
+                batch_size,
+                virtual_nodes,
+            } => write!(
+                f,
+                "global batch size {batch_size} is not divisible by {virtual_nodes} virtual nodes"
+            ),
+            CoreError::MicroBatchTooLarge {
+                micro_batch,
+                max_micro_batch,
+                device,
+            } => write!(
+                f,
+                "micro-batch {micro_batch} exceeds the {device} capacity of {max_micro_batch} examples"
+            ),
+            CoreError::PartitionedResizeOffEpoch { steps_into_epoch } => write!(
+                f,
+                "partitioned dataset resized {steps_into_epoch} steps into an epoch; resize at epoch boundaries to preserve exactly-once visitation"
+            ),
+            CoreError::BadPartitioning { reason } => {
+                write!(f, "invalid model-parallel partitioning: {reason}")
+            }
+            CoreError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            CoreError::Data(e) => write!(f, "data pipeline failed: {e}"),
+            CoreError::Model(e) => write!(f, "model execution failed: {e}"),
+            CoreError::Oom(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+            CoreError::Oom(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<OomError> for CoreError {
+    fn from(e: OomError) -> Self {
+        CoreError::Oom(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = CoreError::BatchNotDivisible {
+            batch_size: 100,
+            virtual_nodes: 3,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        let e = CoreError::from(TensorError::NotScalar { len: 2 });
+        assert!(e.source().is_some());
+        assert!(CoreError::NoDevices.source().is_none());
+    }
+}

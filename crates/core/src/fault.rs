@@ -1,0 +1,167 @@
+//! Fault tolerance via virtual node reassignment (paper §7).
+//!
+//! Checkpoint-based recovery restarts the whole job and rolls the model back
+//! to a potentially stale snapshot. VirtualFlow instead reuses its
+//! elasticity mechanism: the failed device's virtual nodes are reassigned to
+//! the survivors (optionally including a fresh replacement device), model
+//! parameters are fetched from any healthy worker, and training continues
+//! from the *current* step — no checkpoint, no lost work.
+
+use crate::engine::Trainer;
+use crate::vnode::MigrationPlan;
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use vf_device::DeviceId;
+
+/// The outcome of recovering from a device failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecovery {
+    /// The migration applied to reassign the failed device's virtual nodes.
+    pub plan: MigrationPlan,
+    /// Healthy devices after recovery.
+    pub survivors: Vec<DeviceId>,
+    /// Whether a replacement device was enlisted.
+    pub replaced: bool,
+}
+
+/// Handles the failure of `failed` on a running trainer.
+///
+/// The failed device's replica state is discarded (its memory is gone), its
+/// virtual nodes move to the surviving devices — plus `replacement`, if one
+/// is provided — and new devices fetch parameters and stateful kernels from
+/// healthy peers. The parameter trajectory is unaffected because the virtual
+/// node count never changes.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NoDevices`] if `failed` was the last device (with no
+/// replacement, recovery must fall back to a checkpoint, which VirtualFlow
+/// deliberately avoids needing), and mapping errors from redistribution.
+pub fn fail_device(
+    trainer: &mut Trainer,
+    failed: DeviceId,
+    replacement: Option<DeviceId>,
+) -> Result<FaultRecovery, CoreError> {
+    let mut survivors: Vec<DeviceId> = trainer
+        .mapping()
+        .devices()
+        .into_iter()
+        .filter(|&d| d != failed)
+        .collect();
+    if let Some(r) = replacement {
+        if r != failed && !survivors.contains(&r) {
+            survivors.push(r);
+        }
+    }
+    if survivors.is_empty() {
+        return Err(CoreError::NoDevices);
+    }
+    survivors.sort_unstable();
+    trainer.discard_replica(failed);
+    let plan = trainer.resize(&survivors)?;
+    Ok(FaultRecovery {
+        plan,
+        survivors,
+        replaced: replacement.is_some(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrainerConfig;
+    use std::sync::Arc;
+    use vf_data::synthetic::ClusterTask;
+    use vf_models::Mlp;
+
+    fn devices(n: u32) -> Vec<DeviceId> {
+        (0..n).map(DeviceId).collect()
+    }
+
+    fn trainer(n_dev: u32, seed: u64) -> Trainer {
+        let dataset = Arc::new(ClusterTask::easy(seed).generate().unwrap());
+        let arch = Arc::new(Mlp::linear(16, 4));
+        Trainer::new(
+            arch,
+            dataset,
+            TrainerConfig::simple(8, 64, 0.2, seed),
+            &devices(n_dev),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn failure_reassigns_vns_to_survivors() {
+        let mut t = trainer(4, 0);
+        t.run_steps(2).unwrap();
+        let r = fail_device(&mut t, DeviceId(2), None).unwrap();
+        assert_eq!(r.survivors, vec![DeviceId(0), DeviceId(1), DeviceId(3)]);
+        assert_eq!(t.mapping().num_devices(), 3);
+        assert!(t.mapping().is_valid());
+        assert_eq!(t.mapping().total_vns(), 8);
+        assert!(!r.replaced);
+    }
+
+    #[test]
+    fn failure_does_not_change_the_trajectory() {
+        let mut healthy = trainer(4, 1);
+        let mut faulty = trainer(4, 1);
+        healthy.run_steps(2).unwrap();
+        faulty.run_steps(2).unwrap();
+        fail_device(&mut faulty, DeviceId(1), None).unwrap();
+        healthy.run_steps(3).unwrap();
+        faulty.run_steps(3).unwrap();
+        assert_eq!(healthy.params(), faulty.params());
+    }
+
+    #[test]
+    fn replacement_device_is_enlisted() {
+        let mut t = trainer(2, 2);
+        t.run_steps(1).unwrap();
+        let r = fail_device(&mut t, DeviceId(0), Some(DeviceId(9))).unwrap();
+        assert!(r.replaced);
+        assert_eq!(t.mapping().devices(), vec![DeviceId(1), DeviceId(9)]);
+        assert!(t.replica_stateful(DeviceId(9)).is_some());
+    }
+
+    #[test]
+    fn last_device_failure_is_unrecoverable_without_replacement() {
+        let mut t = trainer(1, 3);
+        let err = fail_device(&mut t, DeviceId(0), None).unwrap_err();
+        assert!(matches!(err, CoreError::NoDevices));
+        // But with a replacement, recovery succeeds (parameters live in the
+        // trainer, standing in for "fetch from a healthy worker").
+        assert!(fail_device(&mut t, DeviceId(0), Some(DeviceId(5))).is_ok());
+    }
+
+    #[test]
+    fn failed_device_stateful_state_is_not_donated() {
+        // BN stateful kernels on the replacement must come from a healthy
+        // peer, not the crashed device.
+        let dataset = Arc::new(ClusterTask::easy(4).generate().unwrap());
+        let arch = Arc::new(Mlp::new(16, vec![8], 4).with_batch_norm());
+        let mut t = Trainer::new(
+            arch,
+            dataset,
+            TrainerConfig::simple(8, 64, 0.1, 4),
+            &devices(2),
+        )
+        .unwrap();
+        t.run_steps(3).unwrap();
+        let healthy_state = t.replica_stateful(DeviceId(1)).unwrap().clone();
+        fail_device(&mut t, DeviceId(0), Some(DeviceId(7))).unwrap();
+        assert_eq!(t.replica_stateful(DeviceId(7)).unwrap(), &healthy_state);
+    }
+
+    #[test]
+    fn cascading_failures_are_survivable() {
+        let mut t = trainer(4, 5);
+        t.run_steps(1).unwrap();
+        fail_device(&mut t, DeviceId(0), None).unwrap();
+        fail_device(&mut t, DeviceId(1), None).unwrap();
+        fail_device(&mut t, DeviceId(2), None).unwrap();
+        assert_eq!(t.mapping().num_devices(), 1);
+        assert_eq!(t.mapping().vns_on(DeviceId(3)).len(), 8);
+        t.run_steps(1).unwrap();
+    }
+}

@@ -1,0 +1,183 @@
+//! Model parallelism by virtual node (paper §7, sketch).
+//!
+//! For models that exceed a single device's memory, the paper proposes
+//! partitioning the model *by virtual nodes* rather than by physical
+//! devices: each virtual node is pinned to one model partition, and virtual
+//! nodes holding the same partition are preferentially colocated so each
+//! device stores only the partitions of its resident virtual nodes. The
+//! grid is `data_parallel_groups × num_partitions` virtual nodes.
+//!
+//! This module implements the mapping/placement and the memory accounting
+//! that shows the benefit; it does not pipeline actual tensor computation
+//! across partitions.
+
+use crate::vnode::{VirtualNodeId, VnMapping};
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use vf_device::DeviceId;
+use vf_models::ModelProfile;
+
+/// A model-parallel virtual node layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionedLayout {
+    /// Number of model partitions (pipeline stages).
+    pub num_partitions: u32,
+    /// Number of data-parallel replicas of the partitioned model.
+    pub data_parallel: u32,
+    /// Partition held by each virtual node, indexed by VN id.
+    pub partition_of_vn: Vec<u32>,
+    /// The VN → device mapping, colocating same-partition VNs.
+    pub mapping: VnMapping,
+}
+
+impl PartitionedLayout {
+    /// Builds a layout of `data_parallel × num_partitions` virtual nodes
+    /// over `devices`, colocating virtual nodes of the same partition:
+    /// VN ids are grouped partition-major (`vn / data_parallel` is the
+    /// partition) and dealt to devices contiguously, so each device touches
+    /// the minimum number of partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadPartitioning`] for a zero grid dimension and
+    /// mapping errors for degenerate device sets.
+    pub fn new(
+        num_partitions: u32,
+        data_parallel: u32,
+        devices: &[DeviceId],
+    ) -> Result<Self, CoreError> {
+        if num_partitions == 0 || data_parallel == 0 {
+            return Err(CoreError::BadPartitioning {
+                reason: "grid dimensions must be positive".to_string(),
+            });
+        }
+        let total = num_partitions * data_parallel;
+        let mapping = VnMapping::balanced(total, devices)?;
+        // Partition-major numbering: VNs 0..dp hold partition 0, etc.
+        let partition_of_vn: Vec<u32> = (0..total).map(|v| v / data_parallel).collect();
+        Ok(PartitionedLayout {
+            num_partitions,
+            data_parallel,
+            partition_of_vn,
+            mapping,
+        })
+    }
+
+    /// Total virtual nodes in the grid.
+    pub fn total_vns(&self) -> u32 {
+        self.num_partitions * self.data_parallel
+    }
+
+    /// The partition a virtual node holds.
+    pub fn partition_of(&self, vn: VirtualNodeId) -> Option<u32> {
+        self.partition_of_vn.get(vn.0 as usize).copied()
+    }
+
+    /// The distinct partitions resident on a device.
+    pub fn partitions_on(&self, device: DeviceId) -> BTreeSet<u32> {
+        self.mapping
+            .vns_on(device)
+            .iter()
+            .filter_map(|&vn| self.partition_of(vn))
+            .collect()
+    }
+
+    /// Parameter bytes resident on `device`: one copy of each distinct
+    /// partition its virtual nodes hold (partitions are shared across the
+    /// device's VNs — the colocation benefit).
+    pub fn param_bytes_on(&self, model: &ModelProfile, device: DeviceId) -> u64 {
+        let per_partition = model.param_bytes() / self.num_partitions as u64;
+        per_partition * self.partitions_on(device).len() as u64
+    }
+
+    /// Parameter bytes per device under plain data parallelism (full
+    /// replica everywhere), for comparison.
+    pub fn replicated_param_bytes(model: &ModelProfile) -> u64 {
+        model.param_bytes()
+    }
+
+    /// Per-device partition counts, keyed by device.
+    pub fn partition_spread(&self) -> BTreeMap<DeviceId, usize> {
+        self.mapping
+            .devices()
+            .into_iter()
+            .map(|d| (d, self.partitions_on(d).len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_models::profile::bert_large;
+
+    fn devs(n: u32) -> Vec<DeviceId> {
+        (0..n).map(DeviceId).collect()
+    }
+
+    #[test]
+    fn grid_dimensions_are_validated() {
+        assert!(PartitionedLayout::new(0, 2, &devs(2)).is_err());
+        assert!(PartitionedLayout::new(2, 0, &devs(2)).is_err());
+        assert!(PartitionedLayout::new(2, 2, &devs(2)).is_ok());
+    }
+
+    #[test]
+    fn partition_numbering_is_partition_major() {
+        let l = PartitionedLayout::new(2, 4, &devs(2)).unwrap();
+        assert_eq!(l.partition_of(VirtualNodeId(0)), Some(0));
+        assert_eq!(l.partition_of(VirtualNodeId(3)), Some(0));
+        assert_eq!(l.partition_of(VirtualNodeId(4)), Some(1));
+        assert_eq!(l.partition_of(VirtualNodeId(8)), None);
+    }
+
+    #[test]
+    fn colocation_minimizes_partitions_per_device() {
+        // 4 partitions × 4 replicas on 4 devices: each device holds exactly
+        // one partition's 4 replicas.
+        let l = PartitionedLayout::new(4, 4, &devs(4)).unwrap();
+        for (d, count) in l.partition_spread() {
+            assert_eq!(count, 1, "device {d} holds too many partitions");
+        }
+    }
+
+    #[test]
+    fn device_memory_shrinks_with_partitioning() {
+        let model = bert_large();
+        let l = PartitionedLayout::new(4, 4, &devs(4)).unwrap();
+        for d in devs(4) {
+            let partitioned = l.param_bytes_on(&model, d);
+            assert_eq!(partitioned, model.param_bytes() / 4);
+            assert!(partitioned < PartitionedLayout::replicated_param_bytes(&model));
+        }
+    }
+
+    #[test]
+    fn fewer_devices_hold_more_partitions_but_layout_stays_valid() {
+        // The reproducibility story survives downsizing: same grid on fewer
+        // devices — devices just hold more partitions.
+        let l4 = PartitionedLayout::new(4, 4, &devs(4)).unwrap();
+        let l2 = PartitionedLayout::new(4, 4, &devs(2)).unwrap();
+        assert_eq!(l4.total_vns(), l2.total_vns());
+        assert!(l2.mapping.is_valid());
+        let spread2 = l2.partition_spread();
+        assert!(spread2.values().all(|&c| c == 2));
+        let model = bert_large();
+        assert_eq!(
+            l2.param_bytes_on(&model, DeviceId(0)),
+            model.param_bytes() / 2
+        );
+    }
+
+    #[test]
+    fn uneven_device_counts_still_cover_all_partitions() {
+        let l = PartitionedLayout::new(3, 4, &devs(5)).unwrap();
+        assert!(l.mapping.is_valid());
+        let all: BTreeSet<u32> = devs(5)
+            .into_iter()
+            .flat_map(|d| l.partitions_on(d))
+            .collect();
+        assert_eq!(all.len(), 3);
+    }
+}

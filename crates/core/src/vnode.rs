@@ -1,0 +1,435 @@
+//! Virtual nodes and their mapping onto physical devices.
+//!
+//! A *virtual node* (VN) is the unit a batch is partitioned over: with `N`
+//! total virtual nodes, VN `v` always processes slice `v` of every global
+//! batch, no matter which physical device runs it (paper §3). The
+//! [`VnMapping`] assigns each VN to a device; elasticity (§4.1) is expressed
+//! as *redistributing* the same set of virtual nodes over a different set of
+//! devices, which yields a [`MigrationPlan`] of VN moves.
+
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use vf_device::DeviceId;
+
+/// Identifier of a virtual node. Virtual nodes are numbered `0..N` and the
+/// numbering is stable for the lifetime of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VirtualNodeId(pub u32);
+
+impl fmt::Display for VirtualNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vn{}", self.0)
+    }
+}
+
+/// One virtual node migration: `vn` moves from `from` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Migration {
+    /// The virtual node that moves.
+    pub vn: VirtualNodeId,
+    /// The device it was assigned to.
+    pub from: DeviceId,
+    /// The device it is now assigned to.
+    pub to: DeviceId,
+}
+
+/// The set of migrations produced by a resize.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    /// Individual VN moves, sorted by VN id.
+    pub moves: Vec<Migration>,
+    /// Devices that are new in the target mapping (must bootstrap and
+    /// receive model parameters and stateful kernels).
+    pub new_devices: Vec<DeviceId>,
+    /// Devices released by the resize.
+    pub removed_devices: Vec<DeviceId>,
+}
+
+impl MigrationPlan {
+    /// Whether the resize moved nothing.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty() && self.new_devices.is_empty() && self.removed_devices.is_empty()
+    }
+}
+
+/// An assignment of every virtual node to exactly one device.
+///
+/// # Examples
+///
+/// ```
+/// use vf_core::vnode::VnMapping;
+/// use vf_device::DeviceId;
+///
+/// // 16 virtual nodes over 4 devices — Figure 1 of the paper.
+/// let devices: Vec<DeviceId> = (0..4).map(DeviceId).collect();
+/// let mapping = VnMapping::balanced(16, &devices)?;
+/// assert_eq!(mapping.vns_on(DeviceId(0)).len(), 4);
+/// assert_eq!(mapping.total_vns(), 16);
+/// # Ok::<(), vf_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VnMapping {
+    /// Device → assigned VNs (each list sorted ascending).
+    assignments: BTreeMap<DeviceId, Vec<VirtualNodeId>>,
+    total_vns: u32,
+}
+
+impl VnMapping {
+    /// Distributes `total_vns` virtual nodes over `devices` as evenly as
+    /// possible: the first `total_vns % D` devices (in id order) receive one
+    /// extra VN. VNs are assigned contiguously in id order, so the inverse
+    /// map is monotone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoDevices`] if `devices` is empty,
+    /// [`CoreError::NoVirtualNodes`] if `total_vns == 0`, and
+    /// [`CoreError::TooManyDevices`] if there are more devices than virtual
+    /// nodes (some devices would idle every step).
+    pub fn balanced(total_vns: u32, devices: &[DeviceId]) -> Result<Self, CoreError> {
+        if devices.is_empty() {
+            return Err(CoreError::NoDevices);
+        }
+        if total_vns == 0 {
+            return Err(CoreError::NoVirtualNodes);
+        }
+        if (devices.len() as u32) > total_vns {
+            return Err(CoreError::TooManyDevices {
+                devices: devices.len(),
+                virtual_nodes: total_vns as usize,
+            });
+        }
+        let mut sorted: Vec<DeviceId> = devices.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let d = sorted.len() as u32;
+        let base = total_vns / d;
+        let extra = total_vns % d;
+        let mut assignments = BTreeMap::new();
+        let mut next = 0u32;
+        for (i, &dev) in sorted.iter().enumerate() {
+            let count = base + u32::from((i as u32) < extra);
+            let vns: Vec<VirtualNodeId> =
+                (next..next + count).map(VirtualNodeId).collect();
+            next += count;
+            assignments.insert(dev, vns);
+        }
+        Ok(VnMapping {
+            assignments,
+            total_vns,
+        })
+    }
+
+    /// Creates a mapping from explicit per-device assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoDevices`] for an empty map,
+    /// [`CoreError::NoVirtualNodes`] if no VNs are assigned, and
+    /// [`CoreError::BadPartitioning`] if the assignments are not a partition
+    /// of `0..N` (a VN missing, duplicated, or out of range).
+    pub fn from_assignments(
+        assignments: BTreeMap<DeviceId, Vec<VirtualNodeId>>,
+    ) -> Result<Self, CoreError> {
+        if assignments.is_empty() {
+            return Err(CoreError::NoDevices);
+        }
+        let total: usize = assignments.values().map(Vec::len).sum();
+        if total == 0 {
+            return Err(CoreError::NoVirtualNodes);
+        }
+        let mut assignments = assignments;
+        for vns in assignments.values_mut() {
+            vns.sort_unstable();
+        }
+        let mapping = VnMapping {
+            assignments,
+            total_vns: total as u32,
+        };
+        if !mapping.is_valid() {
+            return Err(CoreError::BadPartitioning {
+                reason: "assignments are not a partition of 0..N".to_string(),
+            });
+        }
+        Ok(mapping)
+    }
+
+    /// Total number of virtual nodes.
+    pub fn total_vns(&self) -> u32 {
+        self.total_vns
+    }
+
+    /// Devices in the mapping, in id order.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        self.assignments.keys().copied().collect()
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Virtual nodes assigned to `device` (empty if the device is unknown).
+    pub fn vns_on(&self, device: DeviceId) -> &[VirtualNodeId] {
+        self.assignments
+            .get(&device)
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// The largest number of VNs on any device — the number of sequential
+    /// *waves* per step (paper §3.2).
+    pub fn waves(&self) -> usize {
+        self.assignments
+            .values()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The device running a virtual node.
+    pub fn device_of(&self, vn: VirtualNodeId) -> Option<DeviceId> {
+        self.assignments
+            .iter()
+            .find(|(_, vns)| vns.contains(&vn))
+            .map(|(&d, _)| d)
+    }
+
+    /// Iterates `(device, assigned VNs)` in device order.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, &[VirtualNodeId])> {
+        self.assignments.iter().map(|(&d, v)| (d, v.as_slice()))
+    }
+
+    /// Checks the structural invariant: every VN in `0..total` appears
+    /// exactly once.
+    pub fn is_valid(&self) -> bool {
+        let mut seen = vec![false; self.total_vns as usize];
+        for vns in self.assignments.values() {
+            for vn in vns {
+                let i = vn.0 as usize;
+                if i >= seen.len() || seen[i] {
+                    return false;
+                }
+                seen[i] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// Redistributes the same virtual nodes over `new_devices`, moving as
+    /// few VNs as possible: surviving devices keep their VNs up to the new
+    /// balanced quota; displaced VNs fill the devices with spare quota in
+    /// device order.
+    ///
+    /// Returns the new mapping and the migration plan.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VnMapping::balanced`] for the new device set.
+    pub fn redistribute(
+        &self,
+        new_devices: &[DeviceId],
+    ) -> Result<(VnMapping, MigrationPlan), CoreError> {
+        // Compute target quotas via the balanced shape on the new devices.
+        let target_shape = VnMapping::balanced(self.total_vns, new_devices)?;
+        let mut new_assignments: BTreeMap<DeviceId, Vec<VirtualNodeId>> = BTreeMap::new();
+        let mut displaced: Vec<(VirtualNodeId, DeviceId)> = Vec::new();
+
+        // Surviving devices keep a prefix of their VNs up to the new quota.
+        for (&dev, quota_vns) in &target_shape.assignments {
+            let quota = quota_vns.len();
+            match self.assignments.get(&dev) {
+                Some(old) => {
+                    let keep = old.len().min(quota);
+                    new_assignments.insert(dev, old[..keep].to_vec());
+                    for &vn in &old[keep..] {
+                        displaced.push((vn, dev));
+                    }
+                }
+                None => {
+                    new_assignments.insert(dev, Vec::new());
+                }
+            }
+        }
+        // VNs on removed devices are displaced too.
+        let removed_devices: Vec<DeviceId> = self
+            .assignments
+            .keys()
+            .copied()
+            .filter(|d| !target_shape.assignments.contains_key(d))
+            .collect();
+        for &dev in &removed_devices {
+            for &vn in &self.assignments[&dev] {
+                displaced.push((vn, dev));
+            }
+        }
+        displaced.sort_unstable_by_key(|&(vn, _)| vn);
+
+        // Fill spare quota in device order.
+        let mut moves = Vec::with_capacity(displaced.len());
+        let mut displaced_iter = displaced.into_iter();
+        for (&dev, quota_vns) in &target_shape.assignments {
+            let quota = quota_vns.len();
+            let assigned = new_assignments.get_mut(&dev).expect("inserted above");
+            while assigned.len() < quota {
+                let (vn, from) = displaced_iter
+                    .next()
+                    .expect("total VN count is conserved, so quotas are fillable");
+                assigned.push(vn);
+                moves.push(Migration { vn, from, to: dev });
+            }
+            assigned.sort_unstable();
+        }
+        debug_assert!(displaced_iter.next().is_none());
+        moves.sort_unstable_by_key(|m| m.vn);
+
+        let new_devices_list: Vec<DeviceId> = target_shape
+            .assignments
+            .keys()
+            .copied()
+            .filter(|d| !self.assignments.contains_key(d))
+            .collect();
+        let mapping = VnMapping {
+            assignments: new_assignments,
+            total_vns: self.total_vns,
+        };
+        debug_assert!(mapping.is_valid());
+        Ok((
+            mapping,
+            MigrationPlan {
+                moves,
+                new_devices: new_devices_list,
+                removed_devices,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn devs(n: u32) -> Vec<DeviceId> {
+        (0..n).map(DeviceId).collect()
+    }
+
+    #[test]
+    fn balanced_distributes_evenly() {
+        let m = VnMapping::balanced(16, &devs(4)).unwrap();
+        for d in devs(4) {
+            assert_eq!(m.vns_on(d).len(), 4);
+        }
+        assert!(m.is_valid());
+        assert_eq!(m.waves(), 4);
+    }
+
+    #[test]
+    fn balanced_handles_uneven_division() {
+        let m = VnMapping::balanced(10, &devs(3)).unwrap();
+        let counts: Vec<usize> = devs(3).iter().map(|&d| m.vns_on(d).len()).collect();
+        assert_eq!(counts, vec![4, 3, 3]);
+        assert!(m.is_valid());
+    }
+
+    #[test]
+    fn balanced_rejects_degenerate_inputs() {
+        assert!(matches!(
+            VnMapping::balanced(4, &[]).unwrap_err(),
+            CoreError::NoDevices
+        ));
+        assert!(matches!(
+            VnMapping::balanced(0, &devs(2)).unwrap_err(),
+            CoreError::NoVirtualNodes
+        ));
+        assert!(matches!(
+            VnMapping::balanced(2, &devs(4)).unwrap_err(),
+            CoreError::TooManyDevices { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_device_ids_are_deduped() {
+        let m = VnMapping::balanced(4, &[DeviceId(1), DeviceId(1), DeviceId(0)]).unwrap();
+        assert_eq!(m.num_devices(), 2);
+        assert!(m.is_valid());
+    }
+
+    #[test]
+    fn device_of_inverts_the_mapping() {
+        let m = VnMapping::balanced(8, &devs(2)).unwrap();
+        for v in 0..8 {
+            let vn = VirtualNodeId(v);
+            let d = m.device_of(vn).unwrap();
+            assert!(m.vns_on(d).contains(&vn));
+        }
+        assert!(m.device_of(VirtualNodeId(8)).is_none());
+    }
+
+    #[test]
+    fn downsize_16_to_4_gpus_matches_figure_1() {
+        // Figure 1: 16 VNs on 16 GPUs resized to 4 GPUs → 4 VNs each.
+        let m16 = VnMapping::balanced(16, &devs(16)).unwrap();
+        let (m4, plan) = m16.redistribute(&devs(4)).unwrap();
+        assert!(m4.is_valid());
+        assert_eq!(m4.total_vns(), 16);
+        for d in devs(4) {
+            assert_eq!(m4.vns_on(d).len(), 4);
+        }
+        assert_eq!(plan.removed_devices.len(), 12);
+        assert!(plan.new_devices.is_empty());
+        assert_eq!(plan.moves.len(), 12);
+    }
+
+    #[test]
+    fn upsize_moves_minimal_vns() {
+        // 8 VNs on 2 devices → 4 devices: each old device keeps 2, donates 2.
+        let m2 = VnMapping::balanced(8, &devs(2)).unwrap();
+        let (m4, plan) = m2.redistribute(&devs(4)).unwrap();
+        assert!(m4.is_valid());
+        for d in devs(4) {
+            assert_eq!(m4.vns_on(d).len(), 2);
+        }
+        assert_eq!(plan.moves.len(), 4);
+        assert_eq!(plan.new_devices, vec![DeviceId(2), DeviceId(3)]);
+        assert!(plan.removed_devices.is_empty());
+        // Surviving devices keep a prefix of what they had.
+        assert_eq!(m4.vns_on(DeviceId(0)), &m2.vns_on(DeviceId(0))[..2]);
+    }
+
+    #[test]
+    fn resize_to_same_devices_is_a_noop() {
+        let m = VnMapping::balanced(12, &devs(3)).unwrap();
+        let (m2, plan) = m.redistribute(&devs(3)).unwrap();
+        assert_eq!(m, m2);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn resize_preserves_total_vns() {
+        let m = VnMapping::balanced(13, &devs(5)).unwrap();
+        let (m2, _) = m.redistribute(&devs(2)).unwrap();
+        assert_eq!(m2.total_vns(), 13);
+        assert!(m2.is_valid());
+        let (m3, _) = m2.redistribute(&devs(7)).unwrap();
+        assert_eq!(m3.total_vns(), 13);
+        assert!(m3.is_valid());
+    }
+
+    #[test]
+    fn resize_to_disjoint_device_set_moves_everything() {
+        let m = VnMapping::balanced(4, &devs(2)).unwrap();
+        let new: Vec<DeviceId> = (10..12).map(DeviceId).collect();
+        let (m2, plan) = m.redistribute(&new).unwrap();
+        assert!(m2.is_valid());
+        assert_eq!(plan.moves.len(), 4);
+        assert_eq!(plan.new_devices, new);
+        assert_eq!(plan.removed_devices, devs(2));
+    }
+
+    #[test]
+    fn resize_rejects_more_devices_than_vns() {
+        let m = VnMapping::balanced(2, &devs(2)).unwrap();
+        assert!(m.redistribute(&devs(3)).is_err());
+    }
+}

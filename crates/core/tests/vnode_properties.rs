@@ -1,0 +1,120 @@
+//! Property-based tests of virtual node mappings and redistribution — the
+//! structural core of elasticity.
+
+use proptest::prelude::*;
+use vf_core::hetero::proportional_counts;
+use vf_core::vnode::VnMapping;
+use vf_device::{Device, DeviceId, DeviceType};
+
+fn device_ids(n: u32) -> Vec<DeviceId> {
+    (0..n).map(DeviceId).collect()
+}
+
+proptest! {
+    /// Balanced mappings are valid partitions with counts differing by ≤1.
+    #[test]
+    fn balanced_is_valid_and_even(vns in 1u32..65, devs in 1u32..17) {
+        prop_assume!(devs <= vns);
+        let m = VnMapping::balanced(vns, &device_ids(devs)).unwrap();
+        prop_assert!(m.is_valid());
+        let counts: Vec<usize> = m.devices().iter().map(|&d| m.vns_on(d).len()).collect();
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "counts {counts:?}");
+        prop_assert_eq!(counts.iter().sum::<usize>(), vns as usize);
+    }
+
+    /// Redistribution conserves the VN set, keeps survivors' prefixes, and
+    /// reports moves consistently with the new mapping.
+    #[test]
+    fn redistribute_is_consistent(
+        vns in 1u32..49,
+        from_devs in 1u32..13,
+        to_devs in 1u32..13,
+    ) {
+        prop_assume!(from_devs <= vns && to_devs <= vns);
+        let old = VnMapping::balanced(vns, &device_ids(from_devs)).unwrap();
+        let (new, plan) = old.redistribute(&device_ids(to_devs)).unwrap();
+        prop_assert!(new.is_valid());
+        prop_assert_eq!(new.total_vns(), vns);
+        // Every reported move lands where it says.
+        for mv in &plan.moves {
+            prop_assert_eq!(new.device_of(mv.vn), Some(mv.to));
+            prop_assert_eq!(old.device_of(mv.vn), Some(mv.from));
+            prop_assert_ne!(mv.from, mv.to);
+        }
+        // Unmoved VNs stay put.
+        let moved: Vec<_> = plan.moves.iter().map(|m| m.vn).collect();
+        for d in old.devices() {
+            for &vn in old.vns_on(d) {
+                if !moved.contains(&vn) {
+                    prop_assert_eq!(new.device_of(vn), Some(d));
+                }
+            }
+        }
+        // New/removed device lists are exact.
+        for d in &plan.new_devices {
+            prop_assert!(!old.devices().contains(d));
+            prop_assert!(new.devices().contains(d));
+        }
+        for d in &plan.removed_devices {
+            prop_assert!(old.devices().contains(d));
+            prop_assert!(!new.devices().contains(d));
+        }
+    }
+
+    /// Chains of random resizes never corrupt the mapping.
+    #[test]
+    fn resize_chains_stay_valid(
+        sizes in proptest::collection::vec(1u32..13, 1..6),
+    ) {
+        let vns = 24u32;
+        let mut m = VnMapping::balanced(vns, &device_ids(4)).unwrap();
+        for devs in sizes {
+            let (next, _) = m.redistribute(&device_ids(devs)).unwrap();
+            prop_assert!(next.is_valid());
+            prop_assert_eq!(next.total_vns(), vns);
+            m = next;
+        }
+    }
+
+    /// Resizing to the same device set is always a no-op.
+    #[test]
+    fn identity_resize_is_noop(vns in 1u32..33, devs in 1u32..9) {
+        prop_assume!(devs <= vns);
+        let m = VnMapping::balanced(vns, &device_ids(devs)).unwrap();
+        let (same, plan) = m.redistribute(&device_ids(devs)).unwrap();
+        prop_assert_eq!(&m, &same);
+        prop_assert!(plan.is_empty());
+    }
+
+    /// Proportional heterogeneous counts conserve the total and give every
+    /// device at least one VN.
+    #[test]
+    fn hetero_counts_conserve(
+        vns in 4u32..65,
+        v100s in 1u32..5,
+        k80s in 0u32..5,
+        t4s in 0u32..5,
+    ) {
+        let mut cluster = Vec::new();
+        let mut id = 0;
+        for _ in 0..v100s { cluster.push(Device::new(id, DeviceType::V100)); id += 1; }
+        for _ in 0..k80s { cluster.push(Device::new(id, DeviceType::K80)); id += 1; }
+        for _ in 0..t4s { cluster.push(Device::new(id, DeviceType::T4)); id += 1; }
+        prop_assume!(cluster.len() as u32 <= vns);
+        let counts = proportional_counts(vns, &cluster).unwrap();
+        prop_assert_eq!(counts.iter().map(|&(_, c)| c).sum::<u32>(), vns);
+        prop_assert!(counts.iter().all(|&(_, c)| c >= 1));
+        // A V100 never receives fewer VNs than a K80 in the same cluster.
+        if v100s > 0 && k80s > 0 {
+            let v100_min = counts.iter()
+                .filter(|(d, _)| d.profile.device_type == DeviceType::V100)
+                .map(|&(_, c)| c).min().unwrap();
+            let k80_max = counts.iter()
+                .filter(|(d, _)| d.profile.device_type == DeviceType::K80)
+                .map(|&(_, c)| c).max().unwrap();
+            prop_assert!(v100_min >= k80_max, "v100 {v100_min} vs k80 {k80_max}");
+        }
+    }
+}

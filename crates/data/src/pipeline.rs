@@ -1,0 +1,133 @@
+//! Input pipeline cost model.
+//!
+//! Figure 3 of the paper shows the CPU-side input pipeline — read, decode,
+//! preprocess, batch — running concurrently with GPU compute, with the next
+//! micro-batch prefetched into device memory to hide the copy. This module
+//! models that stage so the step-time simulation can tell when the input
+//! pipeline is *hidden* (GPU-bound training) and when it becomes the
+//! bottleneck (CPU-bound training), which caps achievable throughput no
+//! matter how many virtual nodes or devices are added.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost model of the host-side input pipeline feeding one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InputPipelineModel {
+    /// CPU workers dedicated to preprocessing.
+    pub cpu_workers: u32,
+    /// CPU-seconds of preprocessing per example (decode + augment).
+    pub preprocess_s_per_example: f64,
+    /// Storage read bandwidth in bytes/s shared by the job.
+    pub io_bandwidth: f64,
+    /// Raw bytes read per example (before decoding).
+    pub raw_bytes_per_example: u64,
+}
+
+impl InputPipelineModel {
+    /// A pipeline representative of the paper's servers (64 Xeon cores
+    /// feeding 8 GPUs → 8 workers per GPU) reading JPEG-sized records.
+    pub fn paper_imagenet() -> Self {
+        InputPipelineModel {
+            cpu_workers: 8,
+            preprocess_s_per_example: 2.5e-3,
+            io_bandwidth: 1.0e9,
+            raw_bytes_per_example: 110 * 1024,
+        }
+    }
+
+    /// A negligible pipeline for pre-tokenized text workloads.
+    pub fn tokenized_text() -> Self {
+        InputPipelineModel {
+            cpu_workers: 4,
+            preprocess_s_per_example: 5.0e-6,
+            io_bandwidth: 1.0e9,
+            raw_bytes_per_example: 2 * 1024,
+        }
+    }
+
+    /// Time for the host to produce `examples` preprocessed examples:
+    /// IO and CPU stages are themselves pipelined, so the slower governs.
+    pub fn produce_time_s(&self, examples: usize) -> f64 {
+        let cpu = examples as f64 * self.preprocess_s_per_example / self.cpu_workers.max(1) as f64;
+        let io = examples as f64 * self.raw_bytes_per_example as f64 / self.io_bandwidth;
+        cpu.max(io)
+    }
+
+    /// Sustainable examples/second of the host pipeline.
+    pub fn max_throughput(&self) -> f64 {
+        1.0 / self.produce_time_s(1)
+    }
+
+    /// Effective duration of a GPU phase of `gpu_time_s` that consumes
+    /// `examples` examples, with the input pipeline running concurrently
+    /// (double-buffered prefetch): the slower side governs.
+    pub fn overlapped_phase_s(&self, gpu_time_s: f64, examples: usize) -> f64 {
+        gpu_time_s.max(self.produce_time_s(examples))
+    }
+
+    /// Whether the pipeline can keep a consumer of the given rate
+    /// (examples/second) fed.
+    pub fn keeps_up_with(&self, consumer_rate: f64) -> bool {
+        self.max_throughput() >= consumer_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produce_time_scales_linearly() {
+        let p = InputPipelineModel::paper_imagenet();
+        let t1 = p.produce_time_s(256);
+        let t2 = p.produce_time_s(512);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slower_stage_governs() {
+        // IO-bound: huge records, instant CPU.
+        let io_bound = InputPipelineModel {
+            cpu_workers: 64,
+            preprocess_s_per_example: 1e-9,
+            io_bandwidth: 1e6,
+            raw_bytes_per_example: 1 << 20,
+        };
+        assert!((io_bound.produce_time_s(10) - 10.0 * (1 << 20) as f64 / 1e6).abs() < 1e-9);
+        // CPU-bound: tiny records, slow decode.
+        let cpu_bound = InputPipelineModel {
+            cpu_workers: 1,
+            preprocess_s_per_example: 0.01,
+            io_bandwidth: 1e12,
+            raw_bytes_per_example: 8,
+        };
+        assert!((cpu_bound.produce_time_s(10) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_workers_speed_up_cpu_bound_pipelines() {
+        let mut p = InputPipelineModel::paper_imagenet();
+        let slow = p.produce_time_s(1024);
+        p.cpu_workers *= 4;
+        assert!(p.produce_time_s(1024) < slow);
+    }
+
+    #[test]
+    fn fast_gpu_phases_are_gated_by_the_pipeline() {
+        let p = InputPipelineModel::paper_imagenet();
+        // A GPU phase much faster than preprocessing is input-bound…
+        let gated = p.overlapped_phase_s(1e-6, 256);
+        assert!((gated - p.produce_time_s(256)).abs() < 1e-12);
+        // …while a slow GPU phase hides the pipeline entirely.
+        assert_eq!(p.overlapped_phase_s(10.0, 256), 10.0);
+    }
+
+    #[test]
+    fn tokenized_text_keeps_up_with_fast_consumers() {
+        let text = InputPipelineModel::tokenized_text();
+        assert!(text.keeps_up_with(100_000.0));
+        let images = InputPipelineModel::paper_imagenet();
+        assert!(!images.keeps_up_with(100_000.0));
+        assert!(images.keeps_up_with(1_000.0));
+    }
+}

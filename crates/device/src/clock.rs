@@ -1,0 +1,85 @@
+//! A simulated wall clock.
+//!
+//! All performance experiments run on simulated time: device cost models and
+//! the cluster scheduler advance a [`SimClock`] rather than sleeping. Time is
+//! `f64` seconds from simulation start.
+
+/// A monotonically advancing simulated clock.
+///
+/// # Examples
+///
+/// ```
+/// use vf_device::SimClock;
+///
+/// let mut clock = SimClock::new();
+/// clock.advance(1.5);
+/// clock.advance(0.5);
+/// assert_eq!(clock.now(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimClock {
+    now_s: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        SimClock { now_s: 0.0 }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Advances the clock by `dt_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is negative or NaN — simulated time never rewinds.
+    pub fn advance(&mut self, dt_s: f64) {
+        assert!(dt_s >= 0.0, "clock cannot advance by {dt_s}");
+        self.now_s += dt_s;
+    }
+
+    /// Advances the clock to the absolute time `t_s` if it is in the future;
+    /// does nothing otherwise. Returns the new current time.
+    pub fn advance_to(&mut self, t_s: f64) -> f64 {
+        if t_s > self.now_s {
+            self.now_s = t_s;
+        }
+        self.now_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().now(), 0.0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = SimClock::new();
+        c.advance(2.0);
+        c.advance(3.0);
+        assert_eq!(c.now(), 5.0);
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let mut c = SimClock::new();
+        c.advance(5.0);
+        assert_eq!(c.advance_to(3.0), 5.0);
+        assert_eq!(c.advance_to(7.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_advance_panics() {
+        SimClock::new().advance(-1.0);
+    }
+}

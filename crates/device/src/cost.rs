@@ -1,0 +1,118 @@
+//! Analytical cost model for simulated training passes.
+//!
+//! Step times in the performance experiments (Figs 9, 11, 16) are built from
+//! these primitives. The decomposition follows §2.3/§3.2 of the paper:
+//!
+//! * a **forward pass** costs its FLOPs at the device's sustained throughput
+//!   plus a fixed per-pass overhead;
+//! * a **backward pass** costs roughly twice the forward FLOPs (gradient
+//!   w.r.t. activations and w.r.t. weights) plus the same overhead;
+//! * a **model update** is memory-bound: the optimizer streams gradients,
+//!   parameters, and its state through device memory;
+//! * **virtual node gradient accumulation** streams the gradient buffer once
+//!   per backward pass.
+//!
+//! The throughput effect the paper reports (Figs 9/16) falls out directly:
+//! with `V` virtual nodes per device, each step performs `V` forward+backward
+//! passes but only *one* update and one synchronization, so for models whose
+//! update cost is a large fraction of a pass (BERT-LARGE) throughput rises
+//! with `V`.
+
+use crate::profile::DeviceProfile;
+
+/// Ratio of backward-pass FLOPs to forward-pass FLOPs.
+pub const BACKWARD_FLOPS_RATIO: f64 = 2.0;
+
+/// Bytes moved per parameter byte during an SGD-with-momentum update:
+/// read gradient + read parameter + read/write momentum + write parameter.
+pub const SGD_UPDATE_TRAFFIC_FACTOR: f64 = 5.0;
+
+/// Bytes moved per parameter byte during an Adam update: gradient, parameter
+/// in/out, two moments in/out.
+pub const ADAM_UPDATE_TRAFFIC_FACTOR: f64 = 7.0;
+
+/// Time for one forward pass of `flops_forward` FLOPs.
+pub fn forward_time_s(p: &DeviceProfile, flops_forward: f64) -> f64 {
+    p.pass_overhead_s + p.compute_time_s(flops_forward)
+}
+
+/// Time for one backward pass matching a forward pass of `flops_forward`.
+pub fn backward_time_s(p: &DeviceProfile, flops_forward: f64) -> f64 {
+    p.pass_overhead_s + p.compute_time_s(flops_forward * BACKWARD_FLOPS_RATIO)
+}
+
+/// Time to accumulate a gradient of `grad_bytes` into the local gradient
+/// buffer (read + modify + write).
+pub fn accumulate_time_s(p: &DeviceProfile, grad_bytes: u64) -> f64 {
+    p.mem_time_s(3.0 * grad_bytes as f64)
+}
+
+/// Time for one optimizer update over `params_bytes` of parameters.
+///
+/// `traffic_factor` is bytes moved per parameter byte; use
+/// [`SGD_UPDATE_TRAFFIC_FACTOR`] or [`ADAM_UPDATE_TRAFFIC_FACTOR`].
+pub fn update_time_s(p: &DeviceProfile, params_bytes: u64, traffic_factor: f64) -> f64 {
+    p.pass_overhead_s + p.mem_time_s(params_bytes as f64 * traffic_factor)
+}
+
+/// Time to transfer an input micro-batch of `bytes` from host to device.
+/// Modeled at half the device bandwidth (PCIe-bound), though in the paper's
+/// pipeline this is overlapped with compute; callers decide whether to hide
+/// it.
+pub fn input_transfer_time_s(p: &DeviceProfile, bytes: u64) -> f64 {
+    p.mem_time_s(2.0 * bytes as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{DeviceProfile, DeviceType};
+
+    fn v100() -> DeviceProfile {
+        DeviceProfile::of(DeviceType::V100)
+    }
+
+    #[test]
+    fn backward_costs_about_twice_forward() {
+        let p = v100();
+        let f = forward_time_s(&p, 1.0e12) - p.pass_overhead_s;
+        let b = backward_time_s(&p, 1.0e12) - p.pass_overhead_s;
+        assert!((b / f - BACKWARD_FLOPS_RATIO).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_dominates_tiny_passes() {
+        let p = v100();
+        // A 1-MFLOP pass is pure overhead on a 50-TFLOPS device.
+        let t = forward_time_s(&p, 1.0e6);
+        assert!((t - p.pass_overhead_s) / t < 0.01);
+    }
+
+    #[test]
+    fn adam_updates_cost_more_than_sgd() {
+        let p = v100();
+        let params = 400 << 20; // 400 MB of parameters
+        assert!(
+            update_time_s(&p, params, ADAM_UPDATE_TRAFFIC_FACTOR)
+                > update_time_s(&p, params, SGD_UPDATE_TRAFFIC_FACTOR)
+        );
+    }
+
+    #[test]
+    fn large_model_update_is_a_meaningful_fraction_of_a_pass() {
+        // BERT-LARGE-scale: ~1.3 GB of parameters, ~500 GFLOPs per example
+        // at micro-batch 8 → update time must be non-negligible, otherwise
+        // Fig 16's throughput gains could not appear.
+        let p = v100();
+        let update = update_time_s(&p, 1_300 << 20, ADAM_UPDATE_TRAFFIC_FACTOR);
+        let pass = forward_time_s(&p, 8.0 * 500.0e9) + backward_time_s(&p, 8.0 * 500.0e9);
+        assert!(update / pass > 0.05, "update/pass = {}", update / pass);
+    }
+
+    #[test]
+    fn accumulate_is_cheaper_than_update() {
+        let p = v100();
+        let bytes = 100 << 20;
+        assert!(accumulate_time_s(&p, bytes) < update_time_s(&p, bytes, SGD_UPDATE_TRAFFIC_FACTOR));
+    }
+}

@@ -1,0 +1,127 @@
+//! Seeded device-failure injection.
+//!
+//! The fault-tolerance extension (paper §7) needs a source of failures to
+//! exercise: [`FailureModel`] draws exponentially distributed failure times
+//! per device from a seed, so failure-injection experiments are exactly
+//! reproducible.
+
+use crate::profile::DeviceId;
+use serde::{Deserialize, Serialize};
+
+/// A memoryless (exponential) failure process per device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Mean time between failures per device, in seconds.
+    pub mtbf_s: f64,
+    /// Seed for the failure draws.
+    pub seed: u64,
+}
+
+/// One scheduled failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// The failing device.
+    pub device: DeviceId,
+    /// Simulated time of the failure.
+    pub at_s: f64,
+}
+
+impl FailureModel {
+    /// Creates a model with the given mean time between failures.
+    pub fn new(mtbf_s: f64, seed: u64) -> Self {
+        FailureModel { mtbf_s, seed }
+    }
+
+    /// The first failure time of `device` (exponential with mean `mtbf_s`),
+    /// a pure function of `(seed, device)`.
+    pub fn first_failure_s(&self, device: DeviceId) -> f64 {
+        // SplitMix64 on (seed, device) → uniform in (0,1) → exponential.
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(device.0).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = ((z >> 11) as f64 + 1.0) / (1u64 << 53) as f64; // (0, 1]
+        -self.mtbf_s * u.ln()
+    }
+
+    /// All failures among `devices` occurring before `horizon_s`, sorted by
+    /// time.
+    pub fn failures_before(&self, devices: &[DeviceId], horizon_s: f64) -> Vec<FailureEvent> {
+        let mut events: Vec<FailureEvent> = devices
+            .iter()
+            .map(|&d| FailureEvent {
+                device: d,
+                at_s: self.first_failure_s(d),
+            })
+            .filter(|e| e.at_s < horizon_s)
+            .collect();
+        events.sort_by(|a, b| {
+            a.at_s
+                .partial_cmp(&b.at_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.device.cmp(&b.device))
+        });
+        events
+    }
+
+    /// Probability that a given device survives `t_s` seconds.
+    pub fn survival_probability(&self, t_s: f64) -> f64 {
+        (-t_s / self.mtbf_s).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn devices(n: u32) -> Vec<DeviceId> {
+        (0..n).map(DeviceId).collect()
+    }
+
+    #[test]
+    fn failure_times_are_deterministic() {
+        let m = FailureModel::new(1000.0, 7);
+        assert_eq!(m.first_failure_s(DeviceId(3)), m.first_failure_s(DeviceId(3)));
+        assert_ne!(m.first_failure_s(DeviceId(3)), m.first_failure_s(DeviceId(4)));
+        let other = FailureModel::new(1000.0, 8);
+        assert_ne!(m.first_failure_s(DeviceId(3)), other.first_failure_s(DeviceId(3)));
+    }
+
+    #[test]
+    fn failure_times_have_the_right_mean() {
+        let m = FailureModel::new(500.0, 1);
+        let n = 20_000u32;
+        let mean: f64 = devices(n)
+            .iter()
+            .map(|&d| m.first_failure_s(d))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 500.0).abs() < 20.0, "mean {mean}");
+    }
+
+    #[test]
+    fn failures_before_horizon_are_sorted_and_filtered() {
+        let m = FailureModel::new(100.0, 2);
+        let events = m.failures_before(&devices(64), 50.0);
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.at_s < 50.0));
+        assert!(events.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+    }
+
+    #[test]
+    fn long_mtbf_rarely_fails_early() {
+        let m = FailureModel::new(1e9, 3);
+        assert!(m.failures_before(&devices(16), 60.0).is_empty());
+        assert!(m.survival_probability(60.0) > 0.999_999);
+    }
+
+    #[test]
+    fn survival_decays_exponentially() {
+        let m = FailureModel::new(100.0, 0);
+        assert!((m.survival_probability(100.0) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!(m.survival_probability(0.0) == 1.0);
+    }
+}

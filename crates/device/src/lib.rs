@@ -1,0 +1,38 @@
+//! # vf-device
+//!
+//! Simulated accelerator devices for the VirtualFlow reproduction.
+//!
+//! The paper's testbed (V100 and RTX 2080 Ti GPUs) is unavailable here, so
+//! this crate models the three device properties its results depend on:
+//!
+//! * **capacity** — [`memory::MemoryTracker`] enforces per-device memory and
+//!   categorizes usage the way Figure 6 does (activations vs parameters vs
+//!   the virtual-node gradient buffer);
+//! * **speed** — [`cost`] converts FLOPs and bytes into simulated seconds
+//!   using per-type [`DeviceProfile`]s;
+//! * **time** — [`SimClock`] advances simulated time for the step-level and
+//!   cluster-level experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use vf_device::{cost, DeviceProfile, DeviceType};
+//!
+//! let v100 = DeviceProfile::of(DeviceType::V100);
+//! // One forward pass of 4 GFLOPs per example at micro-batch 32:
+//! let t = cost::forward_time_s(&v100, 32.0 * 4.0e9);
+//! assert!(t > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod clock;
+pub mod cost;
+pub mod failure;
+pub mod memory;
+mod profile;
+
+pub use clock::SimClock;
+pub use failure::{FailureEvent, FailureModel};
+pub use memory::{MemoryCategory, MemorySnapshot, MemoryTracker, OomError};
+pub use profile::{homogeneous_cluster, Device, DeviceId, DeviceProfile, DeviceType, GIB};

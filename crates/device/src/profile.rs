@@ -1,0 +1,217 @@
+//! Simulated accelerator device profiles.
+//!
+//! The paper evaluates on NVIDIA V100 (16 GB) and GeForce RTX 2080 Ti GPUs
+//! and discusses K80s for heterogeneous training (§7). Profiles capture the
+//! performance characteristics that the paper's results depend on: memory
+//! capacity (what fits), sustained throughput (how long a pass takes), memory
+//! bandwidth (how long a parameter update takes), and a fixed per-kernel
+//! launch overhead (why tiny micro-batches waste time).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One gibibyte, in bytes.
+pub const GIB: u64 = 1024 * 1024 * 1024;
+
+/// Known accelerator types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceType {
+    /// NVIDIA V100 with 16 GB of HBM2 (the paper's main testbed).
+    V100,
+    /// NVIDIA GeForce RTX 2080 Ti with 11 GB of GDDR6 (microbenchmarks).
+    Rtx2080Ti,
+    /// NVIDIA K80 (12 GB per die), used in the heterogeneity discussion.
+    K80,
+    /// NVIDIA A100 with 40 GB of HBM2e (a newer-generation accelerator for
+    /// the heterogeneous-training extension).
+    A100,
+    /// NVIDIA T4 with 16 GB of GDDR6 (a low-power inference-class card).
+    T4,
+}
+
+impl fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceType::V100 => write!(f, "V100"),
+            DeviceType::Rtx2080Ti => write!(f, "RTX 2080 Ti"),
+            DeviceType::K80 => write!(f, "K80"),
+            DeviceType::A100 => write!(f, "A100"),
+            DeviceType::T4 => write!(f, "T4"),
+        }
+    }
+}
+
+/// Performance/capacity profile of one simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// The device type this profile describes.
+    pub device_type: DeviceType,
+    /// Usable device memory in bytes.
+    pub memory_bytes: u64,
+    /// Sustained mixed training throughput in FLOP/s.
+    pub flops_per_sec: f64,
+    /// Sustained memory bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Fixed overhead per forward or backward pass, in seconds
+    /// (kernel launches, host synchronization).
+    pub pass_overhead_s: f64,
+}
+
+impl DeviceProfile {
+    /// The profile for a device type, with figures representative of
+    /// sustained deep learning training throughput (well below peak).
+    pub fn of(device_type: DeviceType) -> Self {
+        match device_type {
+            DeviceType::V100 => DeviceProfile {
+                device_type,
+                memory_bytes: 16 * GIB,
+                flops_per_sec: 50.0e12,
+                mem_bandwidth: 700.0e9,
+                pass_overhead_s: 1.0e-3,
+            },
+            DeviceType::Rtx2080Ti => DeviceProfile {
+                device_type,
+                memory_bytes: 11 * GIB,
+                flops_per_sec: 35.0e12,
+                mem_bandwidth: 500.0e9,
+                pass_overhead_s: 1.0e-3,
+            },
+            DeviceType::K80 => DeviceProfile {
+                device_type,
+                memory_bytes: 12 * GIB,
+                flops_per_sec: 6.0e12,
+                mem_bandwidth: 200.0e9,
+                pass_overhead_s: 2.0e-3,
+            },
+            DeviceType::A100 => DeviceProfile {
+                device_type,
+                memory_bytes: 40 * GIB,
+                flops_per_sec: 120.0e12,
+                mem_bandwidth: 1_500.0e9,
+                pass_overhead_s: 0.8e-3,
+            },
+            DeviceType::T4 => DeviceProfile {
+                device_type,
+                memory_bytes: 16 * GIB,
+                flops_per_sec: 20.0e12,
+                mem_bandwidth: 300.0e9,
+                pass_overhead_s: 1.5e-3,
+            },
+        }
+    }
+
+    /// Time to execute `flops` floating point operations, excluding the
+    /// fixed pass overhead.
+    pub fn compute_time_s(&self, flops: f64) -> f64 {
+        flops / self.flops_per_sec
+    }
+
+    /// Time to stream `bytes` through device memory.
+    pub fn mem_time_s(&self, bytes: f64) -> f64 {
+        bytes / self.mem_bandwidth
+    }
+}
+
+/// Identifier of a device within a simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// One simulated device: an identifier plus its profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Cluster-unique identifier.
+    pub id: DeviceId,
+    /// Performance/capacity profile.
+    pub profile: DeviceProfile,
+}
+
+impl Device {
+    /// Creates a device of the given type.
+    pub fn new(id: u32, device_type: DeviceType) -> Self {
+        Device {
+            id: DeviceId(id),
+            profile: DeviceProfile::of(device_type),
+        }
+    }
+}
+
+/// Builds a homogeneous cluster of `count` devices of one type, with ids
+/// `0..count`.
+///
+/// # Examples
+///
+/// ```
+/// use vf_device::{homogeneous_cluster, DeviceType};
+///
+/// let cluster = homogeneous_cluster(4, DeviceType::V100);
+/// assert_eq!(cluster.len(), 4);
+/// assert_eq!(cluster[3].id.0, 3);
+/// ```
+pub fn homogeneous_cluster(count: usize, device_type: DeviceType) -> Vec<Device> {
+    (0..count as u32).map(|i| Device::new(i, device_type)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_has_more_memory_than_2080ti() {
+        let v = DeviceProfile::of(DeviceType::V100);
+        let r = DeviceProfile::of(DeviceType::Rtx2080Ti);
+        assert!(v.memory_bytes > r.memory_bytes);
+        assert!(v.flops_per_sec > r.flops_per_sec);
+    }
+
+    #[test]
+    fn k80_is_much_slower_than_v100() {
+        let v = DeviceProfile::of(DeviceType::V100);
+        let k = DeviceProfile::of(DeviceType::K80);
+        // The paper's heterogeneity example assumes a large speed gap.
+        assert!(v.flops_per_sec / k.flops_per_sec > 5.0);
+    }
+
+    #[test]
+    fn compute_time_scales_linearly() {
+        let p = DeviceProfile::of(DeviceType::V100);
+        let t1 = p.compute_time_s(1.0e12);
+        let t2 = p.compute_time_s(2.0e12);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_generations_order_by_speed() {
+        let speeds: Vec<f64> = [DeviceType::K80, DeviceType::T4, DeviceType::Rtx2080Ti,
+                                DeviceType::V100, DeviceType::A100]
+            .iter()
+            .map(|&t| DeviceProfile::of(t).flops_per_sec)
+            .collect();
+        assert!(speeds.windows(2).all(|w| w[0] < w[1]), "{speeds:?}");
+    }
+
+    #[test]
+    fn a100_has_the_most_memory() {
+        let a100 = DeviceProfile::of(DeviceType::A100);
+        for t in [DeviceType::V100, DeviceType::Rtx2080Ti, DeviceType::K80, DeviceType::T4] {
+            assert!(a100.memory_bytes > DeviceProfile::of(t).memory_bytes);
+        }
+    }
+
+    #[test]
+    fn cluster_ids_are_sequential() {
+        let c = homogeneous_cluster(3, DeviceType::K80);
+        assert_eq!(c.iter().map(|d| d.id.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn display_names_match_marketing() {
+        assert_eq!(DeviceType::Rtx2080Ti.to_string(), "RTX 2080 Ti");
+        assert_eq!(DeviceId(2).to_string(), "gpu2");
+    }
+}

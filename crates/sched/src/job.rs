@@ -1,0 +1,206 @@
+//! Job specifications and runtime state for the cluster simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vf_comm::LinkProfile;
+use vf_core::perf_model::{step_time, ExecutionShape};
+use vf_device::DeviceProfile;
+use vf_models::ModelProfile;
+
+/// Identifier of a job within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A deep learning training job submitted to the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique id within the trace.
+    pub id: JobId,
+    /// Human-readable name, e.g. `"BERT-BASE/SST-2"`.
+    pub name: String,
+    /// Scheduling priority (the paper uses 1, 5, 10).
+    pub priority: u32,
+    /// GPUs the job asks for (its allocation never exceeds this).
+    pub demand: u32,
+    /// Total virtual nodes — fixed for the job's lifetime, so its
+    /// convergence is independent of the allocation it receives.
+    pub total_vns: u32,
+    /// Cost profile of the model being trained.
+    pub model: ModelProfile,
+    /// Examples each virtual node processes per step.
+    pub micro_batch: usize,
+    /// Number of training steps the job runs for.
+    pub total_steps: u64,
+    /// Submission time in simulated seconds.
+    pub arrival_s: f64,
+}
+
+impl JobSpec {
+    /// The execution shape when the job runs on `gpus` devices of the given
+    /// profile, distributing virtual nodes as evenly as possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus == 0` — an unallocated job has no shape.
+    pub fn shape_on(&self, gpus: u32, device: DeviceProfile) -> ExecutionShape {
+        assert!(gpus > 0, "shape_on requires a positive allocation");
+        let gpus = gpus.min(self.total_vns);
+        let base = self.total_vns / gpus;
+        let extra = self.total_vns % gpus;
+        let devices = (0..gpus)
+            .map(|i| (device, (base + u32::from(i < extra)) as usize))
+            .collect();
+        ExecutionShape {
+            devices,
+            micro_batch: self.micro_batch,
+        }
+    }
+
+    /// Duration of one training step on `gpus` devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus == 0`.
+    pub fn step_time_on(&self, gpus: u32, device: DeviceProfile, link: &LinkProfile) -> f64 {
+        step_time(&self.model, &self.shape_on(gpus, device), link).total_s()
+    }
+
+    /// Total runtime if run start-to-finish on `gpus` devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus == 0`.
+    pub fn runtime_on(&self, gpus: u32, device: DeviceProfile, link: &LinkProfile) -> f64 {
+        self.total_steps as f64 * self.step_time_on(gpus, device, link)
+    }
+}
+
+/// Mutable runtime state of a job inside the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobState {
+    /// The immutable spec.
+    pub spec: JobSpec,
+    /// Steps still to run (fractional while mid-step).
+    pub remaining_steps: f64,
+    /// Current GPU allocation (0 = queued).
+    pub allocation: u32,
+    /// First time the job held any GPUs.
+    pub started_at_s: Option<f64>,
+    /// Completion time, once finished.
+    pub finished_at_s: Option<f64>,
+    /// Number of resize events the job experienced (allocation changes
+    /// while running).
+    pub resizes: u32,
+}
+
+impl JobState {
+    /// Fresh state for a newly arrived job.
+    pub fn new(spec: JobSpec) -> Self {
+        let remaining = spec.total_steps as f64;
+        JobState {
+            spec,
+            remaining_steps: remaining,
+            allocation: 0,
+            started_at_s: None,
+            finished_at_s: None,
+            resizes: 0,
+        }
+    }
+
+    /// Whether the job has finished all its steps.
+    pub fn is_finished(&self) -> bool {
+        self.remaining_steps <= 1e-9
+    }
+
+    /// Queuing delay, defined as time from arrival to first allocation.
+    pub fn queuing_delay_s(&self) -> Option<f64> {
+        self.started_at_s.map(|s| s - self.spec.arrival_s)
+    }
+
+    /// Job completion time (arrival → finish).
+    pub fn jct_s(&self) -> Option<f64> {
+        self.finished_at_s.map(|f| f - self.spec.arrival_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_device::DeviceType;
+    use vf_models::profile::resnet56;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: JobId(0),
+            name: "test".to_string(),
+            priority: 5,
+            demand: 4,
+            total_vns: 8,
+            model: resnet56(),
+            micro_batch: 64,
+            total_steps: 100,
+            arrival_s: 0.0,
+        }
+    }
+
+    fn v100() -> DeviceProfile {
+        DeviceProfile::of(DeviceType::V100)
+    }
+
+    #[test]
+    fn shape_distributes_vns_evenly() {
+        let s = spec().shape_on(3, v100());
+        let counts: Vec<usize> = s.devices.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![3, 3, 2]);
+        assert_eq!(s.total_vns(), 8);
+    }
+
+    #[test]
+    fn allocation_beyond_vns_is_capped() {
+        let s = spec().shape_on(100, v100());
+        assert_eq!(s.devices.len(), 8);
+    }
+
+    #[test]
+    fn more_gpus_means_faster_steps() {
+        let link = LinkProfile::nvlink();
+        let j = spec();
+        let t1 = j.step_time_on(1, v100(), &link);
+        let t4 = j.step_time_on(4, v100(), &link);
+        assert!(t4 < t1, "{t4} !< {t1}");
+    }
+
+    #[test]
+    fn runtime_scales_with_steps() {
+        let link = LinkProfile::nvlink();
+        let mut j = spec();
+        let r100 = j.runtime_on(2, v100(), &link);
+        j.total_steps = 200;
+        assert!((j.runtime_on(2, v100(), &link) - 2.0 * r100).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_tracks_lifecycle() {
+        let mut st = JobState::new(spec());
+        assert!(!st.is_finished());
+        assert_eq!(st.queuing_delay_s(), None);
+        st.started_at_s = Some(10.0);
+        st.finished_at_s = Some(110.0);
+        st.remaining_steps = 0.0;
+        assert!(st.is_finished());
+        assert_eq!(st.queuing_delay_s(), Some(10.0));
+        assert_eq!(st.jct_s(), Some(110.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_gpu_shape_panics() {
+        spec().shape_on(0, v100());
+    }
+}

@@ -1,0 +1,509 @@
+//! Cluster schedulers: Elastic Weighted Fair Sharing and the static
+//! priority baseline.
+//!
+//! [`ElasticWfs`] implements Algorithm 1 of the paper: on every job arrival,
+//! completion, or resize event it recomputes weighted fair shares over the
+//! outstanding jobs and issues resize requests — possible only because
+//! virtual node processing makes resizes semantics-preserving. The
+//! [`StaticPriority`] baseline orders jobs by priority but never resizes a
+//! running job, reproducing the head-of-line blocking and idle GPUs of
+//! Figures 12–13.
+
+use crate::job::{JobId, JobState};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A cluster scheduler: maps outstanding jobs to GPU allocations.
+pub trait Scheduler: Send {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes allocations for the `jobs` (all arrived and unfinished)
+    /// given `capacity` identical GPUs. Jobs absent from the result hold
+    /// zero GPUs.
+    fn allocate(&mut self, now_s: f64, jobs: &[JobState], capacity: u32) -> BTreeMap<JobId, u32>;
+}
+
+/// How [`ElasticWfs`] weighs jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WeightPolicy {
+    /// Use the job's static priority (the paper's main configuration).
+    #[default]
+    Priority,
+    /// Shortest Remaining Time First: weight is inversely proportional to
+    /// remaining work, one of the objectives §4.2 mentions.
+    Srtf,
+    /// Least Attained Service, the Tiresias-style objective (§8): jobs that
+    /// have consumed the least service so far are favored, which bounds the
+    /// damage long-running jobs can do to short ones without needing
+    /// runtime estimates.
+    Las,
+}
+
+/// Elastic weighted fair sharing (paper §4.2, Algorithm 1).
+///
+/// Every job gets at least one GPU whenever capacity permits (in weight
+/// order); the rest of the capacity is water-filled proportionally to the
+/// weights, capped by each job's demand.
+#[derive(Debug, Clone, Default)]
+pub struct ElasticWfs {
+    policy: WeightPolicy,
+}
+
+impl ElasticWfs {
+    /// WFS with static priorities.
+    pub fn new() -> Self {
+        ElasticWfs {
+            policy: WeightPolicy::Priority,
+        }
+    }
+
+    /// WFS with the given weight policy.
+    pub fn with_policy(policy: WeightPolicy) -> Self {
+        ElasticWfs { policy }
+    }
+
+    fn weight(&self, job: &JobState) -> f64 {
+        match self.policy {
+            WeightPolicy::Priority => job.spec.priority as f64,
+            WeightPolicy::Srtf => 1.0 / job.remaining_steps.max(1.0),
+            WeightPolicy::Las => {
+                let attained = (job.spec.total_steps as f64 - job.remaining_steps).max(0.0);
+                1.0 / (attained + 1.0)
+            }
+        }
+    }
+}
+
+impl Scheduler for ElasticWfs {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            WeightPolicy::Priority => "elastic-wfs",
+            WeightPolicy::Srtf => "elastic-srtf",
+            WeightPolicy::Las => "elastic-las",
+        }
+    }
+
+    fn allocate(&mut self, _now_s: f64, jobs: &[JobState], capacity: u32) -> BTreeMap<JobId, u32> {
+        let mut alloc: BTreeMap<JobId, u32> = BTreeMap::new();
+        if jobs.is_empty() || capacity == 0 {
+            return alloc;
+        }
+        // Everyone is considered, highest weight first (ties by arrival
+        // then id for determinism).
+        let mut order: Vec<&JobState> = jobs.iter().collect();
+        order.sort_by(|a, b| {
+            self.weight(b)
+                .partial_cmp(&self.weight(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    a.spec
+                        .arrival_s
+                        .partial_cmp(&b.spec.arrival_s)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(a.spec.id.cmp(&b.spec.id))
+        });
+
+        // Pass 1: one GPU each while capacity lasts — elasticity means a
+        // newly arrived job can immediately carve out a slice.
+        let mut free = capacity;
+        for job in &order {
+            if free == 0 {
+                break;
+            }
+            if job.spec.demand == 0 {
+                continue;
+            }
+            alloc.insert(job.spec.id, 1);
+            free -= 1;
+        }
+
+        // Pass 2: water-fill the remainder proportionally to weights,
+        // capping at each job's demand.
+        let mut shares: BTreeMap<JobId, f64> = alloc.keys().map(|&id| (id, 0.0)).collect();
+        let mut active: Vec<&JobState> = order
+            .iter()
+            .copied()
+            .filter(|j| alloc.contains_key(&j.spec.id) && j.spec.demand > 1)
+            .collect();
+        let mut pool = free as f64;
+        while pool > 1e-9 && !active.is_empty() {
+            let total_w: f64 = active.iter().map(|j| self.weight(j)).sum();
+            let mut next_active = Vec::with_capacity(active.len());
+            let mut distributed = 0.0;
+            for job in &active {
+                let id = job.spec.id;
+                let headroom = (job.spec.demand - 1) as f64 - shares[&id];
+                let grant = (pool * self.weight(job) / total_w).min(headroom);
+                *shares.get_mut(&id).expect("inserted above") += grant;
+                distributed += grant;
+                if grant < headroom - 1e-12 {
+                    next_active.push(*job);
+                }
+            }
+            pool -= distributed;
+            if next_active.len() == active.len() {
+                break; // nobody capped; shares are final
+            }
+            active = next_active;
+        }
+
+        // Integerize by largest remainder, respecting demand caps.
+        let mut leftover = free;
+        let mut remainders: Vec<(JobId, f64, u32)> = Vec::new();
+        for job in &order {
+            let Some(share) = shares.get(&job.spec.id) else {
+                continue;
+            };
+            let extra = share.floor() as u32;
+            *alloc.get_mut(&job.spec.id).expect("pass 1") += extra;
+            leftover -= extra;
+            remainders.push((job.spec.id, share - share.floor(), job.spec.priority));
+        }
+        remainders.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.2.cmp(&a.2))
+                .then(a.0.cmp(&b.0))
+        });
+        for (id, _, _) in remainders {
+            if leftover == 0 {
+                break;
+            }
+            let job = jobs.iter().find(|j| j.spec.id == id).expect("known id");
+            let current = alloc[&id];
+            if current < job.spec.demand {
+                alloc.insert(id, current + 1);
+                leftover -= 1;
+            }
+        }
+        alloc.retain(|_, &mut g| g > 0);
+        alloc
+    }
+}
+
+/// An Optimus-style throughput-optimizing scheduler (§8): each free GPU
+/// goes to the job with the largest *marginal throughput gain*, estimated
+/// from the step-time model. Unlike WFS it ignores priorities entirely —
+/// it maximizes aggregate cluster progress.
+#[derive(Debug, Clone)]
+pub struct ThroughputOptimizer {
+    device: vf_device::DeviceProfile,
+    link: vf_comm::LinkProfile,
+}
+
+impl ThroughputOptimizer {
+    /// A throughput optimizer modeling the given device/link.
+    pub fn new(device: vf_device::DeviceProfile, link: vf_comm::LinkProfile) -> Self {
+        ThroughputOptimizer { device, link }
+    }
+
+    /// Steps/second of `job` at `gpus` (0 at 0 GPUs).
+    fn rate(&self, job: &JobState, gpus: u32) -> f64 {
+        if gpus == 0 {
+            0.0
+        } else {
+            1.0 / job.spec.step_time_on(gpus, self.device, &self.link)
+        }
+    }
+}
+
+impl Scheduler for ThroughputOptimizer {
+    fn name(&self) -> &'static str {
+        "throughput-optimizer"
+    }
+
+    fn allocate(&mut self, _now_s: f64, jobs: &[JobState], capacity: u32) -> BTreeMap<JobId, u32> {
+        let mut alloc: BTreeMap<JobId, u32> = jobs.iter().map(|j| (j.spec.id, 0)).collect();
+        for _ in 0..capacity {
+            // Give the next GPU to the job with the best marginal gain.
+            let best = jobs
+                .iter()
+                .filter(|j| alloc[&j.spec.id] < j.spec.demand)
+                .map(|j| {
+                    let g = alloc[&j.spec.id];
+                    let gain = self.rate(j, g + 1) - self.rate(j, g);
+                    (j.spec.id, gain)
+                })
+                .max_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.0.cmp(&a.0))
+                });
+            match best {
+                Some((id, gain)) if gain > 0.0 => {
+                    *alloc.get_mut(&id).expect("initialized") += 1;
+                }
+                _ => break, // no job benefits from another GPU
+            }
+        }
+        alloc.retain(|_, &mut g| g > 0);
+        alloc
+    }
+}
+
+/// A priority scheduler without elasticity: jobs start with their full
+/// demand in priority order and hold it until completion; the queue head
+/// blocks everything behind it.
+#[derive(Debug, Clone, Default)]
+pub struct StaticPriority {
+    running: BTreeMap<JobId, u32>,
+}
+
+impl StaticPriority {
+    /// A fresh baseline scheduler.
+    pub fn new() -> Self {
+        StaticPriority::default()
+    }
+}
+
+impl Scheduler for StaticPriority {
+    fn name(&self) -> &'static str {
+        "static-priority"
+    }
+
+    fn allocate(&mut self, _now_s: f64, jobs: &[JobState], capacity: u32) -> BTreeMap<JobId, u32> {
+        // Drop finished/absent jobs.
+        self.running
+            .retain(|id, _| jobs.iter().any(|j| j.spec.id == *id && !j.is_finished()));
+        // If the cluster shrank below what is running, this scheduler
+        // cannot resize — it must evict whole jobs, lowest priority first
+        // (they requeue and later restart at full demand).
+        while self.running.values().sum::<u32>() > capacity {
+            let victim = self
+                .running
+                .keys()
+                .min_by_key(|id| {
+                    let j = jobs
+                        .iter()
+                        .find(|j| j.spec.id == **id)
+                        .expect("running jobs are present");
+                    (j.spec.priority, std::cmp::Reverse(j.spec.id))
+                })
+                .copied()
+                .expect("non-empty while over capacity");
+            self.running.remove(&victim);
+        }
+        let used: u32 = self.running.values().sum();
+        let mut free = capacity.saturating_sub(used);
+        // Queue in (priority desc, arrival asc, id asc) order; no backfill —
+        // if the head does not fit, everything behind it waits.
+        let mut queue: Vec<&JobState> = jobs
+            .iter()
+            .filter(|j| !j.is_finished() && !self.running.contains_key(&j.spec.id))
+            .collect();
+        queue.sort_by(|a, b| {
+            b.spec
+                .priority
+                .cmp(&a.spec.priority)
+                .then(
+                    a.spec
+                        .arrival_s
+                        .partial_cmp(&b.spec.arrival_s)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(a.spec.id.cmp(&b.spec.id))
+        });
+        for job in queue {
+            let demand = job.spec.demand;
+            if demand <= free {
+                self.running.insert(job.spec.id, demand);
+                free -= demand;
+            } else {
+                break;
+            }
+        }
+        self.running.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use vf_models::profile::resnet56;
+
+    fn job(id: u32, priority: u32, demand: u32, arrival: f64) -> JobState {
+        JobState::new(JobSpec {
+            id: JobId(id),
+            name: format!("j{id}"),
+            priority,
+            demand,
+            total_vns: demand * 4,
+            model: resnet56(),
+            micro_batch: 32,
+            total_steps: 1000,
+            arrival_s: arrival,
+        })
+    }
+
+    #[test]
+    fn wfs_gives_full_demand_when_uncontended() {
+        let jobs = vec![job(0, 1, 4, 0.0), job(1, 5, 2, 0.0)];
+        let alloc = ElasticWfs::new().allocate(0.0, &jobs, 16);
+        assert_eq!(alloc[&JobId(0)], 4);
+        assert_eq!(alloc[&JobId(1)], 2);
+    }
+
+    #[test]
+    fn wfs_respects_capacity_and_demand() {
+        let jobs = vec![job(0, 1, 4, 0.0), job(1, 5, 4, 0.0), job(2, 10, 4, 0.0)];
+        let alloc = ElasticWfs::new().allocate(0.0, &jobs, 8);
+        let total: u32 = alloc.values().sum();
+        assert!(total <= 8);
+        for (id, g) in &alloc {
+            let demand = jobs.iter().find(|j| j.spec.id == *id).unwrap().spec.demand;
+            assert!(*g <= demand);
+        }
+    }
+
+    #[test]
+    fn wfs_favors_high_priority_under_contention() {
+        let jobs = vec![job(0, 1, 8, 0.0), job(1, 10, 8, 0.0)];
+        let alloc = ElasticWfs::new().allocate(0.0, &jobs, 8);
+        assert!(alloc[&JobId(1)] > alloc[&JobId(0)]);
+        assert_eq!(alloc.values().sum::<u32>(), 8);
+    }
+
+    #[test]
+    fn wfs_gives_everyone_at_least_one_gpu_when_possible() {
+        let jobs: Vec<JobState> = (0..4).map(|i| job(i, 1 + i, 8, 0.0)).collect();
+        let alloc = ElasticWfs::new().allocate(0.0, &jobs, 4);
+        assert_eq!(alloc.len(), 4);
+        assert!(alloc.values().all(|&g| g == 1));
+    }
+
+    #[test]
+    fn wfs_is_work_conserving() {
+        // All capacity is used whenever total demand allows it.
+        let jobs = vec![job(0, 1, 3, 0.0), job(1, 5, 3, 0.0), job(2, 10, 3, 0.0)];
+        let alloc = ElasticWfs::new().allocate(0.0, &jobs, 8);
+        assert_eq!(alloc.values().sum::<u32>(), 8);
+    }
+
+    #[test]
+    fn wfs_with_no_jobs_or_capacity_is_empty() {
+        assert!(ElasticWfs::new().allocate(0.0, &[], 8).is_empty());
+        let jobs = vec![job(0, 1, 4, 0.0)];
+        assert!(ElasticWfs::new().allocate(0.0, &jobs, 0).is_empty());
+    }
+
+    #[test]
+    fn srtf_policy_favors_short_jobs() {
+        let mut long = job(0, 5, 8, 0.0);
+        long.remaining_steps = 10_000.0;
+        let mut short = job(1, 5, 8, 0.0);
+        short.remaining_steps = 10.0;
+        let alloc =
+            ElasticWfs::with_policy(WeightPolicy::Srtf).allocate(0.0, &[long, short], 8);
+        assert!(alloc[&JobId(1)] > alloc[&JobId(0)]);
+    }
+
+    #[test]
+    fn throughput_optimizer_prefers_jobs_that_scale() {
+        use vf_comm::LinkProfile;
+        use vf_device::{DeviceProfile, DeviceType};
+        // A small-gradient job (ResNet-56) scales nearly linearly; a
+        // BERT-BASE job over a slow link saturates quickly. The optimizer
+        // should pour GPUs into the scalable one.
+        let mut scalable = job(0, 5, 8, 0.0);
+        scalable.spec.total_vns = 8;
+        let mut saturating = job(1, 5, 8, 0.0);
+        saturating.spec.model = vf_models::profile::bert_base();
+        saturating.spec.micro_batch = 8;
+        saturating.spec.total_vns = 8;
+        let mut sched = ThroughputOptimizer::new(
+            DeviceProfile::of(DeviceType::V100),
+            LinkProfile::paper_testbed(),
+        );
+        let alloc = sched.allocate(0.0, &[scalable, saturating], 8);
+        assert!(
+            alloc[&JobId(0)] > alloc[&JobId(1)],
+            "scalable job should dominate: {alloc:?}"
+        );
+        assert!(alloc.values().sum::<u32>() <= 8);
+    }
+
+    #[test]
+    fn throughput_optimizer_stops_when_gpus_stop_helping() {
+        use vf_comm::LinkProfile;
+        use vf_device::{DeviceProfile, DeviceType};
+        // One job with 2 virtual nodes cannot use more than 2 GPUs.
+        let mut j = job(0, 5, 8, 0.0);
+        j.spec.total_vns = 2;
+        let mut sched = ThroughputOptimizer::new(
+            DeviceProfile::of(DeviceType::V100),
+            LinkProfile::nvlink(),
+        );
+        let alloc = sched.allocate(0.0, &[j], 8);
+        assert!(alloc[&JobId(0)] <= 2, "{alloc:?}");
+    }
+
+    #[test]
+    fn las_policy_favors_jobs_with_least_attained_service() {
+        let mut veteran = job(0, 5, 8, 0.0);
+        veteran.remaining_steps = 100.0; // has run 900 steps
+        let mut newcomer = job(1, 5, 8, 0.0);
+        newcomer.remaining_steps = 1000.0; // has run nothing
+        let alloc =
+            ElasticWfs::with_policy(WeightPolicy::Las).allocate(0.0, &[veteran, newcomer], 8);
+        assert!(
+            alloc[&JobId(1)] > alloc[&JobId(0)],
+            "the job with no attained service must be favored: {alloc:?}"
+        );
+    }
+
+    #[test]
+    fn static_priority_starts_jobs_in_priority_order() {
+        let jobs = vec![job(0, 1, 4, 0.0), job(1, 10, 4, 0.0), job(2, 5, 4, 0.0)];
+        let alloc = StaticPriority::new().allocate(0.0, &jobs, 8);
+        assert_eq!(alloc.get(&JobId(1)), Some(&4));
+        assert_eq!(alloc.get(&JobId(2)), Some(&4));
+        assert_eq!(alloc.get(&JobId(0)), None);
+    }
+
+    #[test]
+    fn static_priority_never_resizes_running_jobs() {
+        let mut sched = StaticPriority::new();
+        let jobs = vec![job(0, 1, 4, 0.0)];
+        let a1 = sched.allocate(0.0, &jobs, 4);
+        assert_eq!(a1[&JobId(0)], 4);
+        // A higher-priority job arrives; the running job keeps its GPUs.
+        let jobs2 = vec![job(0, 1, 4, 0.0), job(1, 10, 4, 10.0)];
+        let a2 = sched.allocate(10.0, &jobs2, 4);
+        assert_eq!(a2[&JobId(0)], 4);
+        assert_eq!(a2.get(&JobId(1)), None, "no free GPUs, must queue");
+    }
+
+    #[test]
+    fn static_priority_head_of_line_blocks() {
+        // Head needs 4, only 2 free; a later 2-GPU job must NOT jump ahead.
+        let jobs = vec![job(0, 10, 4, 0.0), job(1, 5, 2, 0.0), job(2, 10, 4, 0.0)];
+        let mut sched = StaticPriority::new();
+        let alloc = sched.allocate(0.0, &jobs, 6);
+        assert_eq!(alloc.get(&JobId(0)), Some(&4));
+        assert_eq!(alloc.get(&JobId(2)), None, "head of line blocks");
+        assert_eq!(alloc.get(&JobId(1)), None);
+    }
+
+    #[test]
+    fn static_priority_releases_finished_jobs() {
+        let mut sched = StaticPriority::new();
+        let mut j0 = job(0, 5, 4, 0.0);
+        sched.allocate(0.0, std::slice::from_ref(&j0), 4);
+        j0.remaining_steps = 0.0;
+        let jobs = vec![j0, job(1, 1, 4, 1.0)];
+        let alloc = sched.allocate(1.0, &jobs, 4);
+        assert_eq!(alloc.get(&JobId(0)), None);
+        assert_eq!(alloc.get(&JobId(1)), Some(&4));
+    }
+
+    #[test]
+    fn wfs_determinism() {
+        let jobs = vec![job(0, 5, 4, 0.0), job(1, 5, 4, 0.0), job(2, 5, 4, 0.0)];
+        let a = ElasticWfs::new().allocate(0.0, &jobs, 10);
+        let b = ElasticWfs::new().allocate(0.0, &jobs, 10);
+        assert_eq!(a, b);
+    }
+}

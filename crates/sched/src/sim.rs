@@ -1,0 +1,398 @@
+//! Event-driven cluster simulation.
+//!
+//! Replays a trace of job arrivals on a fixed pool of GPUs under a pluggable
+//! [`Scheduler`], advancing simulated time between scheduling events (job
+//! arrivals and completions) and accounting GPU usage continuously. This is
+//! the harness behind Figures 12–14.
+
+use crate::job::{JobId, JobSpec, JobState};
+use crate::metrics::{AllocationSample, TraceMetrics};
+use crate::scheduler::Scheduler;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vf_comm::LinkProfile;
+use vf_device::{DeviceProfile, DeviceType};
+
+/// Configuration of a cluster simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of identical GPUs in the cluster.
+    pub num_gpus: u32,
+    /// GPU type.
+    pub device_type: DeviceType,
+    /// Interconnect between devices.
+    pub link: LinkProfile,
+    /// Wall-clock overhead charged to a job each time its allocation
+    /// changes while running (VirtualFlow's resizes are cheap — virtual
+    /// nodes redistribute without graph rebuilds; checkpoint/restart
+    /// systems would put minutes here).
+    pub resize_penalty_s: f64,
+    /// Optional periodic rescheduling interval. Event-driven scheduling
+    /// (arrivals/completions only) is enough for static priorities, but
+    /// progress-sensitive policies such as LAS need the scheduler to
+    /// reevaluate as jobs accumulate service.
+    #[serde(default)]
+    pub resched_interval_s: Option<f64>,
+    /// Scheduled capacity changes (e.g. a server leaving for maintenance or
+    /// rejoining). The cluster starts at `num_gpus`; each event sets the
+    /// capacity to its value at its time. Capacities above `num_gpus` are
+    /// clamped.
+    #[serde(default)]
+    pub capacity_events: Vec<CapacityEvent>,
+}
+
+/// A scheduled change of cluster capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityEvent {
+    /// Simulated time the change takes effect.
+    pub at_s: f64,
+    /// New cluster capacity in GPUs.
+    pub num_gpus: u32,
+}
+
+impl SimConfig {
+    /// The paper's main testbed: `num_gpus` V100s, cheap resizes.
+    pub fn v100_cluster(num_gpus: u32) -> Self {
+        SimConfig {
+            num_gpus,
+            device_type: DeviceType::V100,
+            link: LinkProfile::nvlink(),
+            resize_penalty_s: 1.0,
+            resched_interval_s: None,
+            capacity_events: Vec::new(),
+        }
+    }
+}
+
+/// The completed simulation: final job states, metrics, and the allocation
+/// timeline (Figure 13's boxes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Final state of every job.
+    pub jobs: Vec<JobState>,
+    /// Allocation snapshot after every scheduling event.
+    pub timeline: Vec<AllocationSample>,
+    /// Aggregate metrics.
+    pub metrics: TraceMetrics,
+}
+
+/// Runs `trace` (job specs with arrival times) to completion under
+/// `scheduler`.
+///
+/// # Panics
+///
+/// Panics if the trace contains a job whose demand exceeds the cluster, or
+/// duplicate job ids — malformed traces are a programming error.
+pub fn run_trace(
+    trace: &[JobSpec],
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+) -> SimResult {
+    let device = DeviceProfile::of(config.device_type);
+    let mut arrivals: Vec<JobSpec> = trace.to_vec();
+    for j in &arrivals {
+        assert!(
+            j.demand <= config.num_gpus,
+            "{} demands {} GPUs on a {}-GPU cluster",
+            j.id,
+            j.demand,
+            config.num_gpus
+        );
+    }
+    {
+        let mut ids: Vec<JobId> = arrivals.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), arrivals.len(), "duplicate job ids in trace");
+    }
+    arrivals.sort_by(|a, b| {
+        a.arrival_s
+            .partial_cmp(&b.arrival_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+    let mut pending = arrivals.into_iter().peekable();
+    let mut active: BTreeMap<JobId, JobState> = BTreeMap::new();
+    let mut done: Vec<JobState> = Vec::new();
+    let mut timeline: Vec<AllocationSample> = Vec::new();
+    let mut now = 0.0f64;
+    let mut busy_integral = 0.0f64; // GPU·seconds in use
+    let first_arrival = pending.peek().map_or(0.0, |j| j.arrival_s);
+    let mut capacity = config.num_gpus;
+    let mut capacity_events: Vec<CapacityEvent> = config.capacity_events.clone();
+    capacity_events.sort_by(|a, b| {
+        a.at_s.partial_cmp(&b.at_s).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut capacity_iter = capacity_events.into_iter().peekable();
+
+    loop {
+        // Next completion among running jobs.
+        let mut next_completion: Option<(JobId, f64)> = None;
+        for job in active.values() {
+            if job.allocation == 0 {
+                continue;
+            }
+            let st = job.spec.step_time_on(job.allocation, device, &config.link);
+            let t = now + job.remaining_steps * st;
+            if next_completion.is_none_or(|(_, best)| t < best) {
+                next_completion = Some((job.spec.id, t));
+            }
+        }
+        let next_arrival = pending.peek().map(|j| j.arrival_s);
+        let next_capacity = capacity_iter.peek().map(|e| e.at_s);
+        let next_timer = match config.resched_interval_s {
+            // Timers only matter while something is running.
+            Some(dt) if active.values().any(|j| j.allocation > 0) => Some(now + dt),
+            _ => None,
+        };
+        let event_time = match (next_arrival, next_completion) {
+            (Some(a), Some((_, c))) => a.min(c),
+            (Some(a), None) => a,
+            (None, Some((_, c))) => c,
+            (None, None) => break,
+        };
+        let event_time = match next_timer {
+            Some(t) => event_time.min(t),
+            None => event_time,
+        };
+        let event_time = match next_capacity {
+            // Capacity changes matter even while everything is queued.
+            Some(t) if t <= event_time || next_arrival.is_some() || next_completion.is_some() => {
+                event_time.min(t)
+            }
+            _ => event_time,
+        };
+
+        // Advance running jobs to the event time.
+        let dt = (event_time - now).max(0.0);
+        for job in active.values_mut() {
+            if job.allocation > 0 {
+                let st = job.spec.step_time_on(job.allocation, device, &config.link);
+                job.remaining_steps = (job.remaining_steps - dt / st).max(0.0);
+                busy_integral += job.allocation as f64 * dt;
+            }
+        }
+        now = event_time;
+
+        // Absorb all events at this instant: capacity changes, arrivals,
+        // completions.
+        while capacity_iter.peek().is_some_and(|e| e.at_s <= now) {
+            let e = capacity_iter.next().expect("peeked");
+            capacity = e.num_gpus.min(config.num_gpus);
+        }
+        while pending.peek().is_some_and(|j| j.arrival_s <= now) {
+            let spec = pending.next().expect("peeked");
+            active.insert(spec.id, JobState::new(spec));
+        }
+        let finished_ids: Vec<JobId> = active
+            .values()
+            .filter(|j| j.is_finished())
+            .map(|j| j.spec.id)
+            .collect();
+        for id in finished_ids {
+            let mut job = active.remove(&id).expect("present");
+            job.finished_at_s = Some(now);
+            job.allocation = 0;
+            done.push(job);
+        }
+
+        // Reschedule.
+        let snapshot: Vec<JobState> = active.values().cloned().collect();
+        let alloc = scheduler.allocate(now, &snapshot, capacity);
+        let total: u32 = alloc.values().sum();
+        assert!(
+            total <= capacity,
+            "{} over-allocated {total}/{capacity} GPUs",
+            scheduler.name(),
+        );
+        for job in active.values_mut() {
+            let new_alloc = alloc.get(&job.spec.id).copied().unwrap_or(0);
+            if new_alloc > 0 && job.started_at_s.is_none() {
+                job.started_at_s = Some(now);
+            }
+            if job.started_at_s.is_some() && new_alloc != job.allocation && job.allocation > 0 {
+                job.resizes += 1;
+                // Charge the resize penalty as extra remaining work.
+                if new_alloc > 0 && config.resize_penalty_s > 0.0 {
+                    let st = job.spec.step_time_on(new_alloc, device, &config.link);
+                    job.remaining_steps += config.resize_penalty_s / st;
+                }
+            }
+            job.allocation = new_alloc;
+        }
+        timeline.push(AllocationSample {
+            time_s: now,
+            allocations: alloc,
+        });
+    }
+
+    let metrics = TraceMetrics::compute(&done, config.num_gpus, first_arrival, now, busy_integral);
+    done.sort_by_key(|j| j.spec.id);
+    SimResult {
+        scheduler: scheduler.name().to_string(),
+        jobs: done,
+        timeline,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{ElasticWfs, StaticPriority};
+    use vf_models::profile::resnet56;
+
+    fn spec(id: u32, priority: u32, demand: u32, steps: u64, arrival: f64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            name: format!("j{id}"),
+            priority,
+            demand,
+            total_vns: demand * 2,
+            model: resnet56(),
+            micro_batch: 32,
+            total_steps: steps,
+            arrival_s: arrival,
+        }
+    }
+
+    fn config() -> SimConfig {
+        SimConfig::v100_cluster(4)
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let trace = vec![spec(0, 5, 2, 100, 0.0)];
+        let r = run_trace(&trace, &mut ElasticWfs::new(), &config());
+        assert_eq!(r.jobs.len(), 1);
+        let j = &r.jobs[0];
+        assert!(j.is_finished());
+        assert_eq!(j.started_at_s, Some(0.0));
+        let expected = j.spec.runtime_on(2, DeviceProfile::of(DeviceType::V100), &config().link);
+        assert!((j.jct_s().unwrap() - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn all_jobs_finish_under_both_schedulers() {
+        let trace: Vec<JobSpec> = (0..5)
+            .map(|i| spec(i, 1 + i, 2, 50 + 20 * i as u64, 5.0 * i as f64))
+            .collect();
+        for sched in [&mut ElasticWfs::new() as &mut dyn Scheduler, &mut StaticPriority::new()] {
+            let r = run_trace(&trace, sched, &config());
+            assert_eq!(r.jobs.len(), 5, "{}", r.scheduler);
+            assert!(r.jobs.iter().all(|j| j.is_finished()));
+            assert!(r.jobs.iter().all(|j| j.finished_at_s.is_some()));
+        }
+    }
+
+    #[test]
+    fn elastic_scheduler_resizes_static_does_not() {
+        // Two jobs overlapping: elastic downsizes the first on arrival of
+        // the second; static never does.
+        let trace = vec![spec(0, 1, 4, 2000, 0.0), spec(1, 10, 4, 200, 1.0)];
+        let elastic = run_trace(&trace, &mut ElasticWfs::new(), &config());
+        let static_ = run_trace(&trace, &mut StaticPriority::new(), &config());
+        assert!(elastic.jobs[0].resizes > 0);
+        assert_eq!(static_.jobs[0].resizes, 0);
+    }
+
+    #[test]
+    fn elastic_cuts_queuing_delay_of_late_high_priority_jobs() {
+        let trace = vec![spec(0, 1, 4, 3000, 0.0), spec(1, 10, 4, 300, 1.0)];
+        let elastic = run_trace(&trace, &mut ElasticWfs::new(), &config());
+        let static_ = run_trace(&trace, &mut StaticPriority::new(), &config());
+        let eq = elastic.jobs[1].queuing_delay_s().unwrap();
+        let sq = static_.jobs[1].queuing_delay_s().unwrap();
+        assert!(eq < sq, "elastic {eq} should beat static {sq}");
+        assert!(eq < 2.0, "elastic queuing delay should be ~0, got {eq}");
+    }
+
+    #[test]
+    fn timeline_never_exceeds_capacity() {
+        let trace: Vec<JobSpec> = (0..6)
+            .map(|i| spec(i, 1 + (i % 3) * 4, 1 + i % 4, 100, 3.0 * i as f64))
+            .collect();
+        let r = run_trace(&trace, &mut ElasticWfs::new(), &config());
+        for sample in &r.timeline {
+            assert!(sample.allocations.values().sum::<u32>() <= 4);
+        }
+    }
+
+    #[test]
+    fn utilization_is_within_unit_interval() {
+        let trace = vec![spec(0, 5, 2, 500, 0.0), spec(1, 5, 2, 500, 0.0)];
+        let r = run_trace(&trace, &mut ElasticWfs::new(), &config());
+        assert!(r.metrics.avg_utilization > 0.0);
+        assert!(r.metrics.avg_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn capacity_loss_downsizes_elastic_jobs_and_evicts_static_ones() {
+        // Two 2-GPU jobs on 4 GPUs; at t=10 the cluster halves.
+        let mk_config = || {
+            let mut c = config();
+            c.capacity_events = vec![
+                CapacityEvent { at_s: 10.0, num_gpus: 2 },
+                CapacityEvent { at_s: 4000.0, num_gpus: 4 },
+            ];
+            c
+        };
+        let trace = vec![spec(0, 10, 2, 2000, 0.0), spec(1, 1, 2, 2000, 0.0)];
+        let elastic = run_trace(&trace, &mut ElasticWfs::new(), &mk_config());
+        let static_ = run_trace(&trace, &mut StaticPriority::new(), &mk_config());
+        for r in [&elastic, &static_] {
+            assert!(r.jobs.iter().all(|j| j.is_finished()), "{}", r.scheduler);
+            // During the dip, usage never exceeds 2 GPUs.
+            for s in &r.timeline {
+                if (10.0..4000.0).contains(&s.time_s) {
+                    assert!(s.allocations.values().sum::<u32>() <= 2);
+                }
+            }
+        }
+        // Elastic keeps both jobs running (1 GPU each) through the dip;
+        // static must evict the low-priority job entirely.
+        let dip_sample = elastic
+            .timeline
+            .iter()
+            .find(|s| s.time_s >= 10.0)
+            .expect("dip event recorded");
+        assert_eq!(dip_sample.allocations.len(), 2, "elastic shares the dip");
+        let static_dip = static_
+            .timeline
+            .iter()
+            .find(|s| s.time_s >= 10.0)
+            .expect("dip event recorded");
+        assert_eq!(static_dip.allocations.len(), 1, "static evicts one job");
+        assert!(
+            static_dip.allocations.contains_key(&JobId(0)),
+            "high priority survives"
+        );
+    }
+
+    #[test]
+    fn capacity_above_initial_is_clamped() {
+        let mut c = config();
+        c.capacity_events = vec![CapacityEvent { at_s: 1.0, num_gpus: 99 }];
+        let trace = vec![spec(0, 5, 4, 200, 0.0)];
+        let r = run_trace(&trace, &mut ElasticWfs::new(), &c);
+        for s in &r.timeline {
+            assert!(s.allocations.values().sum::<u32>() <= 4);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_demand_is_rejected() {
+        let trace = vec![spec(0, 5, 99, 10, 0.0)];
+        run_trace(&trace, &mut ElasticWfs::new(), &config());
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_ids_are_rejected() {
+        let trace = vec![spec(0, 5, 1, 10, 0.0), spec(0, 5, 1, 10, 1.0)];
+        run_trace(&trace, &mut ElasticWfs::new(), &config());
+    }
+}

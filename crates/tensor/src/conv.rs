@@ -1,0 +1,346 @@
+//! 2-D convolution kernels (NCHW, stride 1, zero "same" padding).
+//!
+//! Enough convolution to build small residual CNNs — the stand-ins for the
+//! paper's ResNet workloads — while staying deterministic and dependency
+//! free. Kernels are naive loops; the workspace's stand-in images are tiny
+//! (≤ 16×16), so clarity beats blocking here.
+
+use crate::tensor::Tensor;
+use crate::TensorError;
+
+/// Interprets a rank-4 shape as `(n, c, h, w)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless the tensor is rank 4.
+pub fn as_nchw(t: &Tensor) -> Result<(usize, usize, usize, usize), TensorError> {
+    let d = t.shape().dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: d.len(),
+            context: "conv::as_nchw",
+        });
+    }
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+/// 2-D convolution of `input` `[n, ic, h, w]` with `kernel`
+/// `[oc, ic, kh, kw]`, stride 1, zero padding `(kh/2, kw/2)` ("same" for
+/// odd kernels): output `[n, oc, h, w]`.
+///
+/// # Errors
+///
+/// Returns rank/shape errors if the operands are not rank 4 or the channel
+/// counts disagree.
+pub fn conv2d(input: &Tensor, kernel: &Tensor) -> Result<Tensor, TensorError> {
+    let (n, ic, h, w) = as_nchw(input)?;
+    let (oc, kic, kh, kw) = as_nchw(kernel)?;
+    if kic != ic {
+        return Err(TensorError::ShapeMismatch {
+            expected: ic,
+            actual: kic,
+            context: "conv::conv2d (input channels)",
+        });
+    }
+    let (ph, pw) = (kh / 2, kw / 2);
+    let mut out = vec![0.0f32; n * oc * h * w];
+    let id = input.data();
+    let kd = kernel.data();
+    for b in 0..n {
+        for o in 0..oc {
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = 0.0f32;
+                    for c in 0..ic {
+                        for dy in 0..kh {
+                            let iy = y as isize + dy as isize - ph as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for dx in 0..kw {
+                                let ix = x as isize + dx as isize - pw as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let iv = id[((b * ic + c) * h + iy as usize) * w + ix as usize];
+                                let kv = kd[((o * ic + c) * kh + dy) * kw + dx];
+                                acc += iv * kv;
+                            }
+                        }
+                    }
+                    out[((b * oc + o) * h + y) * w + x] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, oc, h, w])
+}
+
+/// Gradient of [`conv2d`] with respect to the input: correlation of the
+/// output gradient with the kernel flipped in both spatial axes and
+/// transposed in its channel axes.
+///
+/// # Errors
+///
+/// Returns rank/shape errors on inconsistent operands.
+pub fn conv2d_grad_input(
+    grad_out: &Tensor,
+    kernel: &Tensor,
+) -> Result<Tensor, TensorError> {
+    let (n, oc, h, w) = as_nchw(grad_out)?;
+    let (koc, ic, kh, kw) = as_nchw(kernel)?;
+    if koc != oc {
+        return Err(TensorError::ShapeMismatch {
+            expected: oc,
+            actual: koc,
+            context: "conv::conv2d_grad_input (output channels)",
+        });
+    }
+    let (ph, pw) = (kh / 2, kw / 2);
+    let mut out = vec![0.0f32; n * ic * h * w];
+    let gd = grad_out.data();
+    let kd = kernel.data();
+    for b in 0..n {
+        for c in 0..ic {
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = 0.0f32;
+                    for o in 0..oc {
+                        for dy in 0..kh {
+                            // Output position that consumed input (y, x)
+                            // with kernel offset (dy, dx): oy = y - dy + ph.
+                            let oy = y as isize - dy as isize + ph as isize;
+                            if oy < 0 || oy >= h as isize {
+                                continue;
+                            }
+                            for dx in 0..kw {
+                                let ox = x as isize - dx as isize + pw as isize;
+                                if ox < 0 || ox >= w as isize {
+                                    continue;
+                                }
+                                let gv = gd[((b * oc + o) * h + oy as usize) * w + ox as usize];
+                                let kv = kd[((o * ic + c) * kh + dy) * kw + dx];
+                                acc += gv * kv;
+                            }
+                        }
+                    }
+                    out[((b * ic + c) * h + y) * w + x] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, ic, h, w])
+}
+
+/// Gradient of [`conv2d`] with respect to the kernel.
+///
+/// # Errors
+///
+/// Returns rank/shape errors on inconsistent operands.
+pub fn conv2d_grad_kernel(
+    input: &Tensor,
+    grad_out: &Tensor,
+    kh: usize,
+    kw: usize,
+) -> Result<Tensor, TensorError> {
+    let (n, ic, h, w) = as_nchw(input)?;
+    let (gn, oc, gh, gw) = as_nchw(grad_out)?;
+    if gn != n || gh != h || gw != w {
+        return Err(TensorError::ShapeMismatch {
+            expected: n * h * w,
+            actual: gn * gh * gw,
+            context: "conv::conv2d_grad_kernel (geometry)",
+        });
+    }
+    let (ph, pw) = (kh / 2, kw / 2);
+    let mut out = vec![0.0f32; oc * ic * kh * kw];
+    let id = input.data();
+    let gd = grad_out.data();
+    for o in 0..oc {
+        for c in 0..ic {
+            for dy in 0..kh {
+                for dx in 0..kw {
+                    let mut acc = 0.0f32;
+                    for b in 0..n {
+                        for y in 0..h {
+                            let iy = y as isize + dy as isize - ph as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for x in 0..w {
+                                let ix = x as isize + dx as isize - pw as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += id[((b * ic + c) * h + iy as usize) * w + ix as usize]
+                                    * gd[((b * oc + o) * h + y) * w + x];
+                            }
+                        }
+                    }
+                    out[((o * ic + c) * kh + dy) * kw + dx] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [oc, ic, kh, kw])
+}
+
+/// Global average pooling: `[n, c, h, w] → [n, c]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless the input is rank 4.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor, TensorError> {
+    let (n, c, h, w) = as_nchw(input)?;
+    let inv = 1.0 / (h * w) as f32;
+    let id = input.data();
+    let mut out = vec![0.0f32; n * c];
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            out[b * c + ch] = id[base..base + h * w].iter().sum::<f32>() * inv;
+        }
+    }
+    Tensor::from_vec(out, [n, c])
+}
+
+/// Gradient of [`global_avg_pool`]: spreads each pooled gradient uniformly
+/// over its spatial positions.
+///
+/// # Errors
+///
+/// Returns shape errors if `grad_out` is not `[n, c]`.
+pub fn global_avg_pool_grad(
+    grad_out: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> Result<Tensor, TensorError> {
+    if grad_out.len() != n * c {
+        return Err(TensorError::ShapeMismatch {
+            expected: n * c,
+            actual: grad_out.len(),
+            context: "conv::global_avg_pool_grad",
+        });
+    }
+    let inv = 1.0 / (h * w) as f32;
+    let gd = grad_out.data();
+    let mut out = vec![0.0f32; n * c * h * w];
+    for b in 0..n {
+        for ch in 0..c {
+            let g = gd[b * c + ch] * inv;
+            let base = (b * c + ch) * h * w;
+            out[base..base + h * w].iter_mut().for_each(|v| *v = g);
+        }
+    }
+    Tensor::from_vec(out, [n, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn identity_kernel_is_a_noop() {
+        // A 1x1 kernel with weight 1 copies the channel.
+        let x = init::normal(&mut init::rng(0), [2, 1, 4, 4], 0.0, 1.0);
+        let k = Tensor::ones([1, 1, 1, 1]);
+        let y = conv2d(&x, &k).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn averaging_kernel_blurs() {
+        // A 3x3 kernel of 1/9 over a constant image returns the constant in
+        // the interior (edges see zero padding).
+        let x = Tensor::full([1, 1, 5, 5], 9.0);
+        let k = Tensor::full([1, 1, 3, 3], 1.0 / 9.0);
+        let y = conv2d(&x, &k).unwrap();
+        // Center pixel: full 3x3 support → 9.0.
+        assert!((y.data()[2 * 5 + 2] - 9.0).abs() < 1e-5);
+        // Corner pixel: only 4 taps inside → 4.0.
+        assert!((y.data()[0] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn conv_shapes_are_same_padded() {
+        let x = Tensor::zeros([2, 3, 6, 5]);
+        let k = Tensor::zeros([4, 3, 3, 3]);
+        let y = conv2d(&x, &k).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 4, 6, 5]);
+    }
+
+    #[test]
+    fn channel_mismatch_is_rejected() {
+        let x = Tensor::zeros([1, 2, 4, 4]);
+        let k = Tensor::zeros([1, 3, 3, 3]);
+        assert!(conv2d(&x, &k).is_err());
+        assert!(conv2d(&Tensor::zeros([2, 4]), &k).is_err());
+    }
+
+    #[test]
+    fn grad_input_matches_finite_difference() {
+        let x = init::normal(&mut init::rng(1), [1, 2, 3, 3], 0.0, 1.0);
+        let k = init::normal(&mut init::rng(2), [2, 2, 3, 3], 0.0, 0.5);
+        // loss = sum(conv(x, k)); dL/dx via full-ones upstream gradient.
+        let ones = Tensor::ones([1, 2, 3, 3]);
+        let gi = conv2d_grad_input(&ones, &k).unwrap();
+        let eps = 1e-2;
+        let loss = |x: &Tensor| conv2d(x, &k).unwrap().sum();
+        for i in [0usize, 5, 11, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (fd - gi.data()[i]).abs() < 1e-2,
+                "i={i}: fd {fd} vs analytic {}",
+                gi.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_kernel_matches_finite_difference() {
+        let x = init::normal(&mut init::rng(3), [2, 2, 4, 4], 0.0, 1.0);
+        let k = init::normal(&mut init::rng(4), [3, 2, 3, 3], 0.0, 0.5);
+        let ones = Tensor::ones([2, 3, 4, 4]);
+        let gk = conv2d_grad_kernel(&x, &ones, 3, 3).unwrap();
+        let eps = 1e-2;
+        let loss = |k: &Tensor| conv2d(&x, k).unwrap().sum();
+        for i in [0usize, 7, 20, 40] {
+            let mut kp = k.clone();
+            kp.data_mut()[i] += eps;
+            let mut km = k.clone();
+            km.data_mut()[i] -= eps;
+            let fd = (loss(&kp) - loss(&km)) / (2.0 * eps);
+            assert!(
+                (fd - gk.data()[i]).abs() < 2e-2,
+                "i={i}: fd {fd} vs analytic {}",
+                gk.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_averages_each_channel() {
+        let mut x = Tensor::zeros([1, 2, 2, 2]);
+        x.data_mut()[..4].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]); // ch 0
+        x.data_mut()[4..].copy_from_slice(&[10.0, 10.0, 10.0, 10.0]); // ch 1
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_grad_spreads_uniformly() {
+        let g = Tensor::from_vec(vec![4.0, 8.0], [1, 2]).unwrap();
+        let gi = global_avg_pool_grad(&g, 1, 2, 2, 2).unwrap();
+        assert_eq!(&gi.data()[..4], &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(&gi.data()[4..], &[2.0, 2.0, 2.0, 2.0]);
+    }
+}

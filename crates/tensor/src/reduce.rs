@@ -1,0 +1,204 @@
+//! Deterministic reduction strategies for gradient aggregation.
+//!
+//! VirtualFlow's reproducibility guarantee rests on gradients being combined
+//! in a *fixed* order regardless of how virtual nodes are mapped to devices.
+//! This module provides the reduction strategies used by the executor in
+//! `vf-core` and ablated in `vf-bench`:
+//!
+//! * [`ReductionOrder::Tree`] — pairwise (binary tree) summation in virtual
+//!   node order. Deterministic and numerically well conditioned; the default.
+//! * [`ReductionOrder::Sequential`] — left-to-right summation in virtual node
+//!   order. Deterministic but accumulates rounding error linearly.
+//! * [`ReductionOrder::ArrivalOrder`] — summation in the (simulated) order
+//!   devices finish, standing in for a non-deterministic all-reduce. Kept for
+//!   the ablation bench that demonstrates why determinism matters.
+
+use crate::tensor::Tensor;
+use crate::TensorError;
+use serde::{Deserialize, Serialize};
+
+/// The order in which per-virtual-node gradients are summed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ReductionOrder {
+    /// Pairwise tree reduction in virtual-node order (default).
+    #[default]
+    Tree,
+    /// Sequential left-to-right reduction in virtual-node order.
+    Sequential,
+    /// Reduction in arrival order (caller-provided permutation); models a
+    /// non-deterministic collective.
+    ArrivalOrder,
+}
+
+/// Sums a list of same-shaped tensors with the given strategy.
+///
+/// For [`ReductionOrder::ArrivalOrder`], `arrival` gives the permutation in
+/// which the parts are summed; it is ignored by the other strategies. If
+/// `arrival` is `None`, arrival order degrades to sequential order.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Empty`] if `parts` is empty and
+/// [`TensorError::ShapeMismatch`] if shapes disagree.
+///
+/// # Examples
+///
+/// ```
+/// use vf_tensor::{reduce, Tensor};
+/// use vf_tensor::reduce::ReductionOrder;
+///
+/// let parts = vec![Tensor::ones([2]), Tensor::ones([2]), Tensor::ones([2])];
+/// let sum = reduce::reduce_sum(&parts, ReductionOrder::Tree, None)?;
+/// assert_eq!(sum.data(), &[3.0, 3.0]);
+/// # Ok::<(), vf_tensor::TensorError>(())
+/// ```
+pub fn reduce_sum(
+    parts: &[Tensor],
+    order: ReductionOrder,
+    arrival: Option<&[usize]>,
+) -> Result<Tensor, TensorError> {
+    if parts.is_empty() {
+        return Err(TensorError::Empty {
+            context: "reduce::reduce_sum",
+        });
+    }
+    match order {
+        ReductionOrder::Tree => tree_sum(parts),
+        ReductionOrder::Sequential => sequential_sum_indices(parts, None),
+        ReductionOrder::ArrivalOrder => sequential_sum_indices(parts, arrival),
+    }
+}
+
+/// Averages a list of same-shaped tensors with the given strategy.
+///
+/// # Errors
+///
+/// Same as [`reduce_sum`].
+pub fn reduce_mean(
+    parts: &[Tensor],
+    order: ReductionOrder,
+    arrival: Option<&[usize]>,
+) -> Result<Tensor, TensorError> {
+    let mut s = reduce_sum(parts, order, arrival)?;
+    s.scale_assign(1.0 / parts.len() as f32);
+    Ok(s)
+}
+
+fn sequential_sum_indices(
+    parts: &[Tensor],
+    arrival: Option<&[usize]>,
+) -> Result<Tensor, TensorError> {
+    match arrival {
+        Some(idx) => {
+            let mut acc = parts[idx[0]].clone();
+            for &i in &idx[1..] {
+                acc.add_assign(&parts[i])?;
+            }
+            Ok(acc)
+        }
+        None => {
+            let mut acc = parts[0].clone();
+            for p in &parts[1..] {
+                acc.add_assign(p)?;
+            }
+            Ok(acc)
+        }
+    }
+}
+
+fn tree_sum(parts: &[Tensor]) -> Result<Tensor, TensorError> {
+    // Pairwise reduction: combine adjacent pairs until one tensor remains.
+    // The combination tree depends only on the number of parts, so the
+    // result is a pure function of the ordered part list.
+    let mut level: Vec<Tensor> = parts.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.add_assign(&b)?;
+            }
+            next.push(a);
+        }
+        level = next;
+    }
+    Ok(level.pop().expect("non-empty by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parts(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| Tensor::from_vec(vec![i as f32, 2.0 * i as f32], [2]).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(reduce_sum(&[], ReductionOrder::Tree, None).is_err());
+    }
+
+    #[test]
+    fn single_part_is_identity() {
+        let p = parts(1);
+        let s = reduce_sum(&p, ReductionOrder::Tree, None).unwrap();
+        assert_eq!(s, p[0]);
+    }
+
+    #[test]
+    fn tree_and_sequential_agree_on_exact_values() {
+        // Integer-valued f32 sums are exact, so all orders agree.
+        let p = parts(7);
+        let t = reduce_sum(&p, ReductionOrder::Tree, None).unwrap();
+        let s = reduce_sum(&p, ReductionOrder::Sequential, None).unwrap();
+        assert_eq!(t, s);
+        assert_eq!(t.data(), &[21.0, 42.0]);
+    }
+
+    #[test]
+    fn arrival_order_uses_the_permutation() {
+        // With values where rounding matters, a different order can change
+        // the f32 result; here we just verify the permutation is honored by
+        // using values where it does not, then checking exactness.
+        let p = parts(4);
+        let a = reduce_sum(&p, ReductionOrder::ArrivalOrder, Some(&[3, 1, 0, 2])).unwrap();
+        assert_eq!(a.data(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn tree_reduction_is_stable_under_rounding() {
+        // 1e8 + 1.0 rounds away the 1.0 in f32. Tree reduction of
+        // [1e8, 1, 1, ..., 1] (pairing the small parts together first at
+        // deeper levels) loses less than pure sequential accumulation.
+        let mut p = vec![Tensor::scalar(1e8)];
+        p.extend((0..15).map(|_| Tensor::scalar(1.0)));
+        let seq = reduce_sum(&p, ReductionOrder::Sequential, None)
+            .unwrap()
+            .item()
+            .unwrap();
+        let tree = reduce_sum(&p, ReductionOrder::Tree, None)
+            .unwrap()
+            .item()
+            .unwrap();
+        // Sequential loses every +1.0 (each is below the ulp of 1e8).
+        assert_eq!(seq, 1e8);
+        // Tree sums the 1.0s together first, recovering (most of) them.
+        assert!(tree > 1e8, "tree sum {tree} should retain small addends");
+    }
+
+    #[test]
+    fn mean_divides_by_count() {
+        let p = parts(4);
+        let m = reduce_mean(&p, ReductionOrder::Tree, None).unwrap();
+        assert_eq!(m.data(), &[1.5, 3.0]);
+    }
+
+    #[test]
+    fn mismatched_shapes_error() {
+        let p = vec![Tensor::zeros([2]), Tensor::zeros([3])];
+        assert!(reduce_sum(&p, ReductionOrder::Tree, None).is_err());
+        assert!(reduce_sum(&p, ReductionOrder::Sequential, None).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Tensor shapes and index arithmetic.
+//!
+//! Shapes are small (rank ≤ 4 in practice for this workspace), so we store
+//! dimensions inline in a `Vec<usize>` and derive strides on demand. All
+//! indexing is row-major (C order), matching the layout used by the kernels
+//! in [`crate::ops`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a dense, row-major tensor.
+///
+/// A `Shape` is an ordered list of dimension sizes. The empty shape `[]`
+/// denotes a scalar with exactly one element.
+///
+/// # Examples
+///
+/// ```
+/// use vf_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3]);
+/// assert_eq!(s.rank(), 2);
+/// assert_eq!(s.num_elements(), 6);
+/// assert_eq!(s.strides(), vec![3, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// The scalar shape `[]`, holding exactly one element.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for scalars).
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Whether this shape describes a matrix (rank 2).
+    pub fn is_matrix(&self) -> bool {
+        self.rank() == 2
+    }
+
+    /// Interprets the shape as `(rows, cols)`.
+    ///
+    /// Rank-1 shapes are treated as a single row; scalars as `(1, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank exceeds 2.
+    pub fn as_rows_cols(&self) -> (usize, usize) {
+        match self.dims.as_slice() {
+            [] => (1, 1),
+            [n] => (1, *n),
+            [r, c] => (*r, *c),
+            other => panic!("shape {:?} has rank {} > 2", other, other.len()),
+        }
+    }
+
+    /// Returns a copy with dimension `axis` replaced by `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn with_dim(&self, axis: usize, size: usize) -> Shape {
+        let mut dims = self.dims.clone();
+        dims[axis] = size;
+        Shape { dims }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.as_rows_cols(), (1, 1));
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn rank1_is_a_row_vector() {
+        let s = Shape::new(vec![5]);
+        assert_eq!(s.as_rows_cols(), (1, 5));
+    }
+
+    #[test]
+    fn with_dim_replaces_one_axis() {
+        let s = Shape::new(vec![8, 3]);
+        assert_eq!(s.with_dim(0, 2).dims(), &[2, 3]);
+        assert_eq!(s.dims(), &[8, 3]);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    #[should_panic]
+    fn as_rows_cols_panics_on_rank3() {
+        Shape::new(vec![1, 2, 3]).as_rows_cols();
+    }
+}

@@ -1,0 +1,76 @@
+//! Elastic cluster scheduling: replay the paper's job traces under the
+//! Elastic WFS scheduler (Algorithm 1) and the static priority baseline,
+//! and compare makespan, JCT, queuing delay and utilization (§6.4).
+//!
+//! ```sh
+//! cargo run --release --example cluster_scheduling
+//! ```
+
+use virtualflow::sched::trace::{poisson_trace, three_job_trace};
+use virtualflow::prelude::*;
+
+fn report(label: &str, elastic: &TraceMetrics, static_: &TraceMetrics) {
+    let pct = |e: f64, s: f64| {
+        if s > 0.0 {
+            100.0 * (s - e) / s
+        } else {
+            0.0
+        }
+    };
+    println!("\n-- {label} --");
+    println!("metric                 elastic-wfs   static-priority   improvement");
+    println!(
+        "makespan             {:9.0} s   {:12.0} s   {:8.1}%",
+        elastic.makespan_s,
+        static_.makespan_s,
+        pct(elastic.makespan_s, static_.makespan_s)
+    );
+    println!(
+        "median JCT           {:9.0} s   {:12.0} s   {:8.1}%",
+        elastic.median_jct_s,
+        static_.median_jct_s,
+        pct(elastic.median_jct_s, static_.median_jct_s)
+    );
+    println!(
+        "median queuing delay {:9.1} s   {:12.1} s   {:8.1}%",
+        elastic.median_queuing_delay_s,
+        static_.median_queuing_delay_s,
+        pct(elastic.median_queuing_delay_s, static_.median_queuing_delay_s)
+    );
+    println!(
+        "avg utilization      {:9.1} %   {:12.1} %",
+        100.0 * elastic.avg_utilization,
+        100.0 * static_.avg_utilization
+    );
+    println!("resizes              {:9}     {:12}", elastic.total_resizes, static_.total_resizes);
+}
+
+fn main() {
+    // Figure 12: 3 jobs sharing 4 V100s on a single machine.
+    let config = SimConfig::v100_cluster(4);
+    let trace = three_job_trace(&config.link);
+    println!("== 3-job trace (Figure 12): priorities (1, 5, 10), demands (4, 2, 4) ==");
+    let elastic = run_trace(&trace, &mut ElasticWfs::new(), &config);
+    let static_ = run_trace(&trace, &mut StaticPriority::new(), &config);
+    for (e, s) in elastic.jobs.iter().zip(static_.jobs.iter()) {
+        println!(
+            "  {} prio {:2}: JCT {:6.0}s (elastic) vs {:6.0}s (static)",
+            e.spec.name,
+            e.spec.priority,
+            e.jct_s().unwrap_or(0.0),
+            s.jct_s().unwrap_or(0.0),
+        );
+    }
+    report("3-job trace", &elastic.metrics, &static_.metrics);
+
+    // Figures 13–14: 20 jobs, Poisson arrivals at 12 jobs/hour, 16 GPUs.
+    let config = SimConfig::v100_cluster(16);
+    let trace = poisson_trace(20, 12.0, 16, 2022, &config.link);
+    println!("\n== 20-job Poisson trace (Figures 13–14): 12 jobs/hour on 16 GPUs ==");
+    let elastic = run_trace(&trace, &mut ElasticWfs::new(), &config);
+    let static_ = run_trace(&trace, &mut StaticPriority::new(), &config);
+    report("20-job trace", &elastic.metrics, &static_.metrics);
+
+    println!("\nelasticity = redistributing virtual nodes; every resized job still");
+    println!("converges identically, so these gains are application-transparent.");
+}

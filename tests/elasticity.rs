@@ -1,0 +1,146 @@
+//! Integration tests for resource elasticity (paper §4): arbitrary resize
+//! and failure schedules never perturb the training trajectory.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use virtualflow::core::fault::fail_device;
+use virtualflow::prelude::*;
+
+fn dataset(seed: u64) -> Arc<Dataset> {
+    Arc::new(
+        ClusterTask {
+            num_examples: 512,
+            dim: 10,
+            num_classes: 4,
+            separation: 2.0,
+            spread: 1.0,
+            label_noise: 0.05,
+            seed,
+        }
+        .generate()
+        .expect("generation succeeds"),
+    )
+}
+
+fn make(arch: Arc<Mlp>, data: Arc<Dataset>, devices: u32, seed: u64) -> Trainer {
+    let ids: Vec<DeviceId> = (0..devices).map(DeviceId).collect();
+    Trainer::new(arch, data, TrainerConfig::simple(16, 64, 0.2, seed), &ids).expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A random resize schedule (device counts in 1..=16, resize every few
+    /// steps) reproduces the fixed-devices run bit-for-bit.
+    #[test]
+    fn prop_random_resize_schedule_preserves_trajectory(
+        sizes in proptest::collection::vec(1u32..17, 1..5),
+        seed in 0u64..500,
+    ) {
+        let data = dataset(seed);
+        let arch = Arc::new(Mlp::new(10, vec![8], 4));
+        let mut fixed = make(arch.clone(), data.clone(), 4, seed);
+        let mut elastic = make(arch, data, 4, seed);
+        for (i, &devices) in sizes.iter().enumerate() {
+            let ids: Vec<DeviceId> = (0..devices).map(DeviceId).collect();
+            elastic.resize(&ids).unwrap();
+            prop_assert!(elastic.mapping().is_valid());
+            for _ in 0..2 {
+                let a = fixed.step().unwrap();
+                let b = elastic.step().unwrap();
+                prop_assert_eq!(a.loss, b.loss, "resize #{} to {} devices", i, devices);
+            }
+        }
+        prop_assert_eq!(fixed.params(), elastic.params());
+    }
+
+    /// Random single-device failures (with or without replacement) never
+    /// change the trajectory as long as one device survives.
+    #[test]
+    fn prop_failures_preserve_trajectory(
+        failures in proptest::collection::vec((0u32..4, proptest::bool::ANY), 1..3),
+        seed in 0u64..500,
+    ) {
+        let data = dataset(seed);
+        let arch = Arc::new(Mlp::linear(10, 4));
+        let mut healthy = make(arch.clone(), data.clone(), 4, seed);
+        let mut faulty = make(arch, data, 4, seed);
+        let mut next_replacement = 100u32;
+        for (victim, replace) in failures {
+            let devices = faulty.mapping().devices();
+            let victim_id = devices[victim as usize % devices.len()];
+            if devices.len() == 1 && !replace {
+                continue; // unrecoverable; skip
+            }
+            let replacement = replace.then(|| {
+                next_replacement += 1;
+                DeviceId(next_replacement)
+            });
+            fail_device(&mut faulty, victim_id, replacement).unwrap();
+            prop_assert!(faulty.mapping().is_valid());
+            healthy.step().unwrap();
+            faulty.step().unwrap();
+        }
+        prop_assert_eq!(healthy.params(), faulty.params());
+    }
+}
+
+#[test]
+fn figure1_shrink_16_to_4_and_back() {
+    let data = dataset(9);
+    let arch = Arc::new(Mlp::new(10, vec![8], 4));
+    let mut t = make(arch, data, 16, 9);
+    assert_eq!(t.mapping().waves(), 1);
+    t.run_steps(2).unwrap();
+    let plan = t
+        .resize(&(0..4).map(DeviceId).collect::<Vec<_>>())
+        .unwrap();
+    assert_eq!(t.mapping().waves(), 4);
+    assert_eq!(plan.removed_devices.len(), 12);
+    t.run_steps(2).unwrap();
+    t.resize(&(0..16).map(DeviceId).collect::<Vec<_>>()).unwrap();
+    assert_eq!(t.mapping().waves(), 1);
+    t.run_steps(2).unwrap();
+}
+
+#[test]
+fn bootstrap_semantics_async_join_has_no_stall() {
+    // The §5 mechanism: joining workers bootstrap on their own; the group
+    // only pays when the join is blocking.
+    let mut group = ElasticGroup::new((0..4).map(WorkerId));
+    group.request_join(WorkerId(4), 100.0, 30.0);
+    group.request_join(WorkerId(5), 100.0, 45.0);
+    assert_eq!(group.stall_time_s(BootstrapPolicy::Async, 100.0), 0.0);
+    assert_eq!(group.stall_time_s(BootstrapPolicy::Blocking, 100.0), 45.0);
+    // Nobody joins until ready…
+    assert!(group.admit_ready(120.0).is_empty());
+    assert_eq!(group.active().len(), 4);
+    // …then both fold in.
+    assert_eq!(group.admit_ready(150.0).len(), 2);
+    assert_eq!(group.active().len(), 6);
+    assert_eq!(group.generation(), 1);
+}
+
+#[test]
+fn stateful_kernels_survive_a_full_device_turnover() {
+    // Replace every original device one by one; BN moving statistics must
+    // flow through the replacements rather than reset.
+    let data = dataset(11);
+    let arch = Arc::new(Mlp::new(10, vec![8], 4).with_batch_norm());
+    let ids: Vec<DeviceId> = (0..2).map(DeviceId).collect();
+    let mut t = Trainer::new(
+        arch.clone(),
+        data,
+        TrainerConfig::simple(8, 64, 0.1, 11),
+        &ids,
+    )
+    .unwrap();
+    t.run_steps(4).unwrap();
+    let trained = t.replica_stateful(DeviceId(0)).unwrap().clone();
+    assert_ne!(trained, arch.init_stateful());
+    t.resize(&[DeviceId(0), DeviceId(7)]).unwrap();
+    t.resize(&[DeviceId(7), DeviceId(8)]).unwrap();
+    // Device 8 inherited from 7, which inherited from 0 or 1.
+    let inherited = t.replica_stateful(DeviceId(8)).unwrap();
+    assert_ne!(inherited, &arch.init_stateful(), "state must not reset");
+}

@@ -1,0 +1,156 @@
+//! Integration tests for the memory and performance models: the §3.3 and
+//! §6.5 claims that motivate virtual node processing's efficiency story.
+
+use proptest::prelude::*;
+use virtualflow::core::memory_model::{check_fits, simulate_step_timeline, timeline_peak};
+use virtualflow::core::perf_model::{step_time, throughput, ExecutionShape};
+use virtualflow::prelude::*;
+
+fn paper_models() -> Vec<ModelProfile> {
+    vec![resnet50(), bert_base(), bert_large()]
+}
+
+#[test]
+fn fig15_memory_overhead_constant_and_below_20_percent() {
+    let ti = DeviceProfile::of(DeviceType::Rtx2080Ti);
+    for model in paper_models() {
+        let mb = model.max_micro_batch_virtual(&ti).max(1);
+        let base = model.peak_bytes_vanilla(mb) as f64;
+        let mut prev: Option<u64> = None;
+        for vn in [2usize, 4, 8, 16, 32] {
+            let peak = model.peak_bytes_virtual(mb, vn);
+            assert!(
+                peak as f64 / base <= 1.20,
+                "{}: overhead {:.3} at {vn} VNs",
+                model.name,
+                peak as f64 / base
+            );
+            if let Some(p) = prev {
+                assert_eq!(p, peak, "{}: peak must be constant in VN count", model.name);
+            }
+            prev = Some(peak);
+        }
+    }
+}
+
+#[test]
+fn fig15_overhead_scales_with_model_size() {
+    // The 1→2 VN jump equals one gradient buffer, i.e. the model size, so
+    // BERT-LARGE's relative jump exceeds ResNet-50's.
+    let ti = DeviceProfile::of(DeviceType::Rtx2080Ti);
+    let rel_jump = |m: &ModelProfile| {
+        let mb = m.max_micro_batch_virtual(&ti).max(1);
+        m.peak_bytes_virtual(mb, 2) as f64 / m.peak_bytes_vanilla(mb) as f64
+    };
+    assert!(rel_jump(&bert_large()) > rel_jump(&resnet50()));
+}
+
+#[test]
+fn fig16_throughput_shape_large_models_gain_small_models_flat() {
+    let ti = DeviceProfile::of(DeviceType::Rtx2080Ti);
+    let link = LinkProfile::paper_testbed();
+    let ratio = |m: &ModelProfile| {
+        let mb = m.max_micro_batch_virtual(&ti).max(1);
+        let t1 = throughput(m, &ExecutionShape::homogeneous(ti, 1, 1, mb), &link);
+        let t16 = throughput(m, &ExecutionShape::homogeneous(ti, 1, 16, mb), &link);
+        t16 / t1
+    };
+    let bert = ratio(&bert_large());
+    let resnet = ratio(&resnet50());
+    assert!(bert > 1.05, "BERT-LARGE should gain from VNs: {bert:.3}");
+    assert!(bert < 1.4, "gain should be bounded (paper: ≤1.3x): {bert:.3}");
+    assert!(
+        (0.95..1.1).contains(&resnet),
+        "ResNet-50 should be flat: {resnet:.3}"
+    );
+    assert!(bert > resnet);
+}
+
+#[test]
+fn update_frequency_effect_fig9() {
+    // §6.2.3: at a fixed device count, more VNs = fewer updates per example
+    // = higher throughput for update-heavy models.
+    let v100 = DeviceProfile::of(DeviceType::V100);
+    let link = LinkProfile::paper_testbed();
+    let model = bert_base();
+    // Vanilla TF on 1 GPU: batch 8 (largest fitting), update every batch.
+    let tf = throughput(&model, &ExecutionShape::homogeneous(v100, 1, 1, 8), &link);
+    // VirtualFlow on 1 GPU: batch 64 via 8 VNs.
+    let vf = throughput(&model, &ExecutionShape::homogeneous(v100, 1, 8, 8), &link);
+    let gain = vf / tf - 1.0;
+    assert!(
+        (0.02..0.6).contains(&gain),
+        "VF should outperform TF* on 1 GPU by a visible margin: {gain:.3}"
+    );
+}
+
+#[test]
+fn memory_timeline_is_consistent_with_analytical_model() {
+    let v100 = DeviceProfile::of(DeviceType::V100);
+    for model in paper_models() {
+        let mb = model.max_micro_batch_virtual(&v100).max(1);
+        for vn in [1usize, 2, 4] {
+            let tl = simulate_step_timeline(&model, &v100, mb, vn, 1, 1, 1.0).unwrap();
+            assert_eq!(
+                timeline_peak(&tl),
+                model.peak_bytes_virtual(mb, vn),
+                "{} vn={vn}",
+                model.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The memory model never admits a configuration whose simulated
+    /// timeline overflows the device, and never rejects one that fits.
+    #[test]
+    fn prop_check_fits_agrees_with_simulation(
+        model_idx in 0usize..3,
+        mb_pow in 0u32..6,
+        vn in 1usize..9,
+    ) {
+        let model = paper_models().remove(model_idx);
+        let ti = DeviceProfile::of(DeviceType::Rtx2080Ti);
+        let micro_batch = 1usize << mb_pow;
+        let fits = check_fits(&model, &ti, micro_batch, vn).is_ok();
+        let sim = simulate_step_timeline(&model, &ti, micro_batch, vn, 1, 1, 1.0);
+        prop_assert_eq!(fits, sim.is_ok());
+        if let Ok(tl) = sim {
+            prop_assert!(timeline_peak(&tl) <= ti.memory_bytes);
+        }
+    }
+
+    /// Step time decomposition is internally consistent: total equals the
+    /// sum of phases, compute scales with VNs, sync is zero on one device.
+    #[test]
+    fn prop_step_time_decomposition(
+        devices in 1usize..9,
+        vn in 1usize..9,
+        mb_pow in 0u32..8,
+    ) {
+        let v100 = DeviceProfile::of(DeviceType::V100);
+        let link = LinkProfile::paper_testbed();
+        let shape = ExecutionShape::homogeneous(v100, devices, vn, 1 << mb_pow);
+        let t = step_time(&resnet50(), &shape, &link);
+        let sum = t.compute_s + t.accumulate_s + t.sync_s + t.update_s;
+        prop_assert!((t.total_s() - sum).abs() < 1e-12);
+        prop_assert!(t.compute_s > 0.0);
+        prop_assert_eq!(t.sync_s == 0.0, devices == 1);
+        prop_assert_eq!(t.accumulate_s == 0.0, vn == 1);
+    }
+
+    /// Throughput is monotone in device count for fixed VN-per-device work
+    /// on a fast interconnect.
+    #[test]
+    fn prop_more_devices_more_throughput(devices in 1usize..8) {
+        let v100 = DeviceProfile::of(DeviceType::V100);
+        let link = LinkProfile::nvlink();
+        let model = resnet50();
+        let a = throughput(&model, &ExecutionShape::homogeneous(v100, devices, 2, 64), &link);
+        let b = throughput(&model, &ExecutionShape::homogeneous(v100, devices + 1, 2, 64), &link);
+        prop_assert!(b > a);
+    }
+}

@@ -1,0 +1,155 @@
+//! Cross-crate integration tests for VirtualFlow's headline guarantee:
+//! training results are a pure function of the hyperparameters (including
+//! the virtual node count), never of the physical device layout.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use virtualflow::prelude::*;
+
+fn dataset(seed: u64) -> Arc<Dataset> {
+    Arc::new(
+        ClusterTask {
+            num_examples: 512,
+            dim: 12,
+            num_classes: 3,
+            separation: 2.0,
+            spread: 1.0,
+            label_noise: 0.1,
+            seed,
+        }
+        .generate()
+        .expect("generation succeeds"),
+    )
+}
+
+fn trainer(
+    arch: Arc<Mlp>,
+    data: Arc<Dataset>,
+    total_vns: u32,
+    devices: u32,
+    seed: u64,
+) -> Trainer {
+    let config = TrainerConfig::simple(total_vns, 64, 0.2, seed);
+    let ids: Vec<DeviceId> = (0..devices).map(DeviceId).collect();
+    Trainer::new(arch, data, config, &ids).expect("valid config")
+}
+
+#[test]
+fn table1_property_same_vns_any_devices_same_params() {
+    // The mechanism behind Table 1: batch 64 over 8 VNs on 1, 2, 4, 8
+    // devices — identical final parameters, not merely similar accuracy.
+    let data = dataset(0);
+    let arch = Arc::new(Mlp::new(12, vec![16], 3));
+    let mut reference = trainer(arch.clone(), data.clone(), 8, 1, 0);
+    for _ in 0..10 {
+        reference.step().unwrap();
+    }
+    for devices in [2u32, 4, 8] {
+        let mut t = trainer(arch.clone(), data.clone(), 8, devices, 0);
+        for _ in 0..10 {
+            t.step().unwrap();
+        }
+        assert_eq!(reference.params(), t.params(), "{devices} devices");
+    }
+}
+
+#[test]
+fn gradient_is_independent_of_vn_count_up_to_rounding() {
+    // Splitting the same batch into 1, 2, 4, … virtual nodes computes the
+    // same mean gradient (exactly in real arithmetic; here within f32
+    // rounding), so even the VN count only matters through batch-norm-style
+    // per-shard statistics — absent here.
+    let data = dataset(1);
+    let arch = Arc::new(Mlp::linear(12, 3));
+    let mut baseline = trainer(arch.clone(), data.clone(), 1, 1, 1);
+    baseline.step().unwrap();
+    for vns in [2u32, 4, 8, 16] {
+        let mut t = trainer(arch.clone(), data.clone(), vns, 1, 1);
+        t.step().unwrap();
+        for (a, b) in baseline.params().iter().zip(t.params().iter()) {
+            assert!(
+                a.approx_eq(b, 1e-5),
+                "params diverged beyond rounding at {vns} VNs"
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    // Guard against a trivially-constant trainer making the equality tests
+    // vacuous.
+    let arch = Arc::new(Mlp::linear(12, 3));
+    let mut a = trainer(arch.clone(), dataset(2), 4, 2, 2);
+    let mut b = trainer(arch, dataset(2), 4, 2, 99);
+    for _ in 0..3 {
+        a.step().unwrap();
+        b.step().unwrap();
+    }
+    assert_ne!(a.params(), b.params());
+}
+
+#[test]
+fn reduction_order_changes_bits_not_convergence() {
+    // The ablation behind choosing a deterministic reduction: arrival-order
+    // reduction is what a real all-reduce does; it converges the same but
+    // is not bitwise stable across mappings. Tree order is our default.
+    let data = dataset(3);
+    let arch = Arc::new(Mlp::linear(12, 3));
+    let mk = |order: ReductionOrder| {
+        let mut config = TrainerConfig::simple(8, 64, 0.2, 3);
+        config.reduction = order;
+        Trainer::new(arch.clone(), data.clone(), config, &[DeviceId(0)]).unwrap()
+    };
+    let mut tree = mk(ReductionOrder::Tree);
+    let mut seq = mk(ReductionOrder::Sequential);
+    for _ in 0..20 {
+        tree.step().unwrap();
+        seq.step().unwrap();
+    }
+    for (a, b) in tree.params().iter().zip(seq.params().iter()) {
+        assert!(a.approx_eq(b, 1e-4), "orders must agree to fp tolerance");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary (vns, device-count, seed) with devices ≤ vns, a few
+    /// steps on many devices reproduce the single-device trajectory
+    /// bit-for-bit.
+    #[test]
+    fn prop_any_mapping_reproduces_single_device(
+        vns_pow in 1u32..5,      // 2..16 VNs
+        devices in 1u32..9,
+        seed in 0u64..1000,
+    ) {
+        let vns = 1 << vns_pow;
+        prop_assume!(devices <= vns);
+        let data = dataset(seed);
+        let arch = Arc::new(Mlp::linear(12, 3));
+        let mut single = trainer(arch.clone(), data.clone(), vns, 1, seed);
+        let mut multi = trainer(arch, data, vns, devices, seed);
+        for _ in 0..3 {
+            single.step().unwrap();
+            multi.step().unwrap();
+        }
+        prop_assert_eq!(single.params(), multi.params());
+    }
+
+    /// Batch shards reassemble the exact global batch for any divisor.
+    #[test]
+    fn prop_sharding_partitions_the_batch(
+        n_pow in 3u32..8,        // dataset 8..128 * 4
+        seed in 0u64..1000,
+    ) {
+        let n = (1usize << n_pow) * 4;
+        let plan = BatchPlan::new(n, n / 4, seed).unwrap();
+        let batch = plan.batch(0, 0);
+        for shards in [1usize, 2, 4] {
+            let parts = virtualflow::data::batching::shard_indices(&batch.indices, shards).unwrap();
+            let flat: Vec<usize> = parts.into_iter().flatten().collect();
+            prop_assert_eq!(&flat, &batch.indices);
+        }
+    }
+}
