@@ -24,9 +24,9 @@ fn main() {
     let train = Arc::new(train);
     let arch = Arc::new(ConvNet::new(1, 8, 8, 6, 1, 4));
     let config = TrainerConfig {
-        schedule: vf_tensor::optim::LrSchedule::Constant { lr: 0.15 },
+        schedule: vf_tensor::optim::LrSchedule::Constant { lr: 0.1 },
         optimizer: vf_core::OptimizerConfig::sgd_momentum(),
-        ..TrainerConfig::simple(8, 32, 0.15, 60)
+        ..TrainerConfig::simple(8, 32, 0.1, 60)
     };
 
     let mut rows = Vec::new();

@@ -1,0 +1,180 @@
+//! Kernel microbenchmarks: blocked/SIMD GEMM and im2col convolution versus
+//! the seed's naive loops.
+//!
+//! Dependency-free on purpose (`std::time::Instant`, no criterion): this is
+//! the harness that substantiates the kernel layer's headline numbers, so it
+//! must run anywhere the workspace builds. The naive baselines below are the
+//! exact loops the seed tree shipped (including the old `av == 0.0` skip in
+//! matmul, later removed for NaN/∞ correctness), so speedups are measured
+//! against what the code actually did, not a strawman.
+//!
+//! Writes `results/BENCH_kernels.json` with GFLOP/s and speedups per size.
+
+use std::time::Instant;
+use vf_bench::report::{emit, print_table};
+use vf_tensor::{conv, gemm, init, pool, Tensor};
+
+/// The seed tree's `ops::matmul` inner loops, verbatim (zero-skip included).
+fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// The seed tree's `conv::conv2d` loops, verbatim (padding taps skipped).
+#[allow(clippy::many_single_char_names)]
+fn naive_conv2d(input: &Tensor, kernel: &Tensor) -> Tensor {
+    let d = input.shape().dims();
+    let (n, ic, h, w) = (d[0], d[1], d[2], d[3]);
+    let kd_dims = kernel.shape().dims();
+    let (oc, kh, kw) = (kd_dims[0], kd_dims[2], kd_dims[3]);
+    let (ph, pw) = (kh / 2, kw / 2);
+    let mut out = vec![0.0f32; n * oc * h * w];
+    let id = input.data();
+    let kd = kernel.data();
+    for b in 0..n {
+        for o in 0..oc {
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = 0.0f32;
+                    for c in 0..ic {
+                        for dy in 0..kh {
+                            let iy = y as isize + dy as isize - ph as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for dx in 0..kw {
+                                let ix = x as isize + dx as isize - pw as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let iv = id[((b * ic + c) * h + iy as usize) * w + ix as usize];
+                                let kv = kd[((o * ic + c) * kh + dy) * kw + dx];
+                                acc += iv * kv;
+                            }
+                        }
+                    }
+                    out[((b * oc + o) * h + y) * w + x] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, oc, h, w]).expect("shape")
+}
+
+/// Times `f` with a warm-up pass: runs until ~0.25 s or `max_reps` have
+/// elapsed, whichever first, and returns seconds per call (best of means).
+fn time_secs(max_reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: page in buffers, spin up pool workers
+    let mut best = f64::INFINITY;
+    let mut reps_done = 0;
+    while reps_done < max_reps {
+        let batch = ((max_reps - reps_done) / 4).clamp(1, 8);
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let per_call = t0.elapsed().as_secs_f64() / batch as f64;
+        if per_call < best {
+            best = per_call;
+        }
+        reps_done += batch;
+    }
+    best
+}
+
+fn main() {
+    println!("== kernel microbenchmarks (f32, single process) ==\n");
+    println!(
+        "threads: {} (VF_NUM_THREADS to override)\n",
+        pool::num_threads()
+    );
+
+    let mut rows = Vec::new();
+    let mut gemm_json = Vec::new();
+    for &s in &[64usize, 128, 256, 512] {
+        let mut rng = init::rng(s as u64);
+        let a = init::normal(&mut rng, [s, s], 0.0, 1.0);
+        let b = init::normal(&mut rng, [s, s], 0.0, 1.0);
+        let flops = 2.0 * (s * s * s) as f64;
+        let reps = (1usize << 27) / (s * s * s).max(1);
+        let t_naive = time_secs(reps.clamp(3, 64), || {
+            std::hint::black_box(naive_matmul(a.data(), b.data(), s, s, s));
+        });
+        let t_fast = time_secs(reps.clamp(3, 256), || {
+            std::hint::black_box(gemm::matmul(a.data(), b.data(), s, s, s));
+        });
+        let (gf_naive, gf_fast) = (flops / t_naive / 1e9, flops / t_fast / 1e9);
+        rows.push(vec![
+            format!("gemm {s}x{s}x{s}"),
+            format!("{gf_naive:.2}"),
+            format!("{gf_fast:.2}"),
+            format!("{:.2}x", gf_fast / gf_naive),
+        ]);
+        gemm_json.push(serde_json::json!({
+            "size": s,
+            "naive_gflops": gf_naive,
+            "fast_gflops": gf_fast,
+            "speedup": gf_fast / gf_naive,
+        }));
+    }
+
+    let mut conv_json = Vec::new();
+    for &(n, c, hw) in &[(4usize, 8usize, 32usize), (8, 16, 64)] {
+        let mut rng = init::rng((n * c * hw) as u64);
+        let x = init::normal(&mut rng, [n, c, hw, hw], 0.0, 1.0);
+        let k = init::normal(&mut rng, [c, c, 3, 3], 0.0, 0.5);
+        let flops = 2.0 * (n * c * c * 9 * hw * hw) as f64;
+        let t_naive = time_secs(12, || {
+            std::hint::black_box(naive_conv2d(&x, &k));
+        });
+        let t_fast = time_secs(48, || {
+            std::hint::black_box(conv::conv2d(&x, &k).expect("conv"));
+        });
+        let (gf_naive, gf_fast) = (flops / t_naive / 1e9, flops / t_fast / 1e9);
+        rows.push(vec![
+            format!("conv {n}x{c}x{hw}x{hw} k3"),
+            format!("{gf_naive:.2}"),
+            format!("{gf_fast:.2}"),
+            format!("{:.2}x", gf_fast / gf_naive),
+        ]);
+        conv_json.push(serde_json::json!({
+            "batch": n, "channels": c, "hw": hw,
+            "naive_gflops": gf_naive,
+            "fast_gflops": gf_fast,
+            "speedup": gf_fast / gf_naive,
+        }));
+    }
+
+    print_table(&["kernel", "naive GF/s", "fast GF/s", "speedup"], &rows);
+
+    let gemm_256 = &gemm_json[2];
+    let speedup_256 = gemm_256["speedup"].as_f64().expect("speedup");
+    println!("\n256x256x256 GEMM speedup over seed naive: {speedup_256:.2}x");
+    assert!(
+        speedup_256 >= 3.0,
+        "acceptance: 256^3 GEMM must be >= 3x over the seed naive kernel"
+    );
+
+    emit(
+        "BENCH_kernels",
+        &serde_json::json!({
+            "threads": pool::num_threads(),
+            "gemm": gemm_json,
+            "conv": conv_json,
+        }),
+    );
+    println!("wrote results/BENCH_kernels.json");
+}

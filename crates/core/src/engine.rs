@@ -256,8 +256,12 @@ impl Trainer {
         let mut vn_grads: Vec<Option<Vec<Tensor>>> = vec![None; total_vns];
         let mut vn_losses: Vec<f32> = vec![0.0; total_vns];
 
-        // One thread per device; each processes its VNs sequentially
-        // (waves), updating its own stateful kernels in VN order.
+        // One pool task per device; each processes its VNs sequentially
+        // (waves), updating its own stateful kernels in VN order. Sharing
+        // the process-wide vf-tensor pool (instead of spawning per-step
+        // threads) keeps device fan-out and kernel parallelism on one fixed
+        // set of workers; nested kernel submissions are deadlock-free
+        // because submitters help drain their own jobs.
         let arch = &self.arch;
         let dataset = &self.dataset;
         let params = &self.params;
@@ -271,29 +275,18 @@ impl Trainer {
             (DeviceId, StatefulState, Vec<(usize, Vec<Tensor>, f32)>),
             CoreError,
         >;
-        let results: Vec<DeviceResult> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = work
-                .into_iter()
-                .map(|(device, vns, mut stateful)| {
-                    let shards = &shards;
-                    scope.spawn(move |_| -> DeviceResult {
-                        let mut outputs = Vec::with_capacity(vns.len());
-                        for vn in vns {
-                            let shard = &shards[vn.0 as usize];
-                            let (x, y) = dataset.gather(shard)?;
-                            let report = arch.grad(params, &mut stateful, &x, &y)?;
-                            outputs.push((vn.0 as usize, report.grads, report.loss));
-                        }
-                        Ok((device, stateful, outputs))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("device thread panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope failed");
+        let results: Vec<DeviceResult> = vf_tensor::pool::parallel_tasks(work.len(), |i| {
+            let (device, vns, stateful) = &work[i];
+            let mut stateful = stateful.clone();
+            let mut outputs = Vec::with_capacity(vns.len());
+            for vn in vns {
+                let shard = &shards[vn.0 as usize];
+                let (x, y) = dataset.gather(shard)?;
+                let report = arch.grad(params, &mut stateful, &x, &y)?;
+                outputs.push((vn.0 as usize, report.grads, report.loss));
+            }
+            Ok((*device, stateful, outputs))
+        });
 
         for result in results {
             let (device, stateful, outputs) = result?;

@@ -234,7 +234,9 @@ mod tests {
         let (x, y) = data.gather(&(0..64).collect::<Vec<_>>()).unwrap();
         let before = m.eval(&params, &st, &x, &y).unwrap();
         let mut opt = Sgd::with_momentum(0.15, 0.9);
-        for _ in 0..60 {
+        // 120 steps: momentum makes the loss oscillate early (a dip near step
+        // 60 is normal for some seeds); by 120 the net has settled.
+        for _ in 0..120 {
             let r = m.grad(&params, &mut st, &x, &y).unwrap();
             opt.step(&mut params, &r.grads).unwrap();
         }

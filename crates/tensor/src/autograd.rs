@@ -468,14 +468,16 @@ impl Tape {
             match &self.nodes[id].op {
                 Op::Leaf | Op::Constant => {}
                 Op::Matmul(a, b) => {
-                    // y = a·b  →  da = g·bᵀ, db = aᵀ·g
+                    // y = a·b  →  da = g·bᵀ, db = aᵀ·g. The NT/TN GEMM
+                    // variants consume the operands in their stored layout,
+                    // skipping the explicit transpose materialization.
                     if self.needs(*a) {
-                        let da = ops::matmul(&gout, &ops::transpose(self.value(*b)))?;
+                        let da = ops::matmul_nt(&gout, self.value(*b))?;
                         let da = reshape_like(da, self.value(*a))?;
                         accumulate(&mut grads, *a, da)?;
                     }
                     if self.needs(*b) {
-                        let db = ops::matmul(&ops::transpose(self.value(*a)), &gout)?;
+                        let db = ops::matmul_tn(self.value(*a), &gout)?;
                         let db = reshape_like(db, self.value(*b))?;
                         accumulate(&mut grads, *b, db)?;
                     }

@@ -1,12 +1,31 @@
 //! 2-D convolution kernels (NCHW, stride 1, zero "same" padding).
 //!
-//! Enough convolution to build small residual CNNs — the stand-ins for the
-//! paper's ResNet workloads — while staying deterministic and dependency
-//! free. Kernels are naive loops; the workspace's stand-in images are tiny
-//! (≤ 16×16), so clarity beats blocking here.
+//! Convolutions are lowered onto the GEMM layer in [`crate::gemm`] via
+//! im2col: each image is unfolded into a column matrix whose rows enumerate
+//! kernel taps `(c, dy, dx)` and whose columns enumerate output positions
+//! `(y, x)`, with padding taps stored as explicit zeros. The forward pass is
+//! then `K_flat (oc × ic·kh·kw) · cols`, the input gradient is
+//! `K_flatᵀ · dOut` followed by a col2im scatter-add, and the kernel
+//! gradient is `dOut · colsᵀ` accumulated over images in batch order.
+//!
+//! # Determinism
+//!
+//! The [`reference`] module keeps naive per-element kernels whose FLOP order
+//! — one `mul_add` chain per output element, padding taps included as
+//! explicit zeros, taps visited `(c, dy, dx)` ascending — is exactly the
+//! order the GEMM lowering produces. The fast paths here are bit-identical
+//! to those references for every shape and thread count (asserted by
+//! `tests/kernel_equivalence.rs`), so virtual-node execution stays
+//! reproducible across hardware configurations. Batch images are independent
+//! outputs, so the forward and input-gradient kernels parallelize over the
+//! batch via [`crate::pool`]; the kernel gradient accumulates across images
+//! in a fixed order using the GEMM accumulate path (bitwise equal to one
+//! long chain).
 
+use crate::pool::{self, SendPtr};
 use crate::tensor::Tensor;
-use crate::TensorError;
+use crate::{gemm, TensorError};
+use std::ops::Range;
 
 /// Interprets a rank-4 shape as `(n, c, h, w)`.
 ///
@@ -23,6 +42,96 @@ pub fn as_nchw(t: &Tensor) -> Result<(usize, usize, usize, usize), TensorError> 
         });
     }
     Ok((d[0], d[1], d[2], d[3]))
+}
+
+/// Per-image work below this many multiply-adds is not worth pool traffic;
+/// the batch loop runs inline. Shape-only, so the decision is deterministic.
+const PARALLEL_MIN_FLOPS: usize = 1 << 18;
+
+/// Unfolds one `ic × h × w` image into a `(ic·kh·kw) × (h·w)` column matrix.
+/// Out-of-bounds taps become explicit zeros, so they participate in the FMA
+/// chain exactly like the reference kernels' zero taps.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    img: &[f32],
+    ic: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    ph: usize,
+    pw: usize,
+    cols: &mut [f32],
+) {
+    let hw = h * w;
+    let mut row = 0;
+    for c in 0..ic {
+        for dy in 0..kh {
+            for dx in 0..kw {
+                let dst = &mut cols[row * hw..(row + 1) * hw];
+                row += 1;
+                for y in 0..h {
+                    let iy = y as isize + dy as isize - ph as isize;
+                    let drow = &mut dst[y * w..(y + 1) * w];
+                    if iy < 0 || iy >= h as isize {
+                        drow.fill(0.0);
+                        continue;
+                    }
+                    let srow = &img[(c * h + iy as usize) * w..(c * h + iy as usize) * w + w];
+                    for (x, d) in drow.iter_mut().enumerate() {
+                        let ix = x as isize + dx as isize - pw as isize;
+                        *d = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            srow[ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds a `(ic·kh·kw) × (h·w)` column-gradient matrix back onto one image
+/// by scatter-add. Iterating rows in `(c, dy, dx)` order means each input
+/// position accumulates its taps in exactly the order
+/// [`reference::conv2d_grad_input`] sums them.
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    cols: &[f32],
+    ic: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    ph: usize,
+    pw: usize,
+    img: &mut [f32],
+) {
+    let hw = h * w;
+    let mut row = 0;
+    for c in 0..ic {
+        for dy in 0..kh {
+            for dx in 0..kw {
+                let src = &cols[row * hw..(row + 1) * hw];
+                row += 1;
+                for y in 0..h {
+                    let iy = y as isize + dy as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let irow = &mut img[(c * h + iy as usize) * w..(c * h + iy as usize) * w + w];
+                    for (x, &v) in src[y * w..(y + 1) * w].iter().enumerate() {
+                        let ix = x as isize + dx as isize - pw as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        irow[ix as usize] += v;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// 2-D convolution of `input` `[n, ic, h, w]` with `kernel`
@@ -44,50 +153,38 @@ pub fn conv2d(input: &Tensor, kernel: &Tensor) -> Result<Tensor, TensorError> {
         });
     }
     let (ph, pw) = (kh / 2, kw / 2);
-    let mut out = vec![0.0f32; n * oc * h * w];
+    let hw = h * w;
+    let taps = ic * kh * kw;
+    let mut out = vec![0.0f32; n * oc * hw];
     let id = input.data();
     let kd = kernel.data();
-    for b in 0..n {
-        for o in 0..oc {
-            for y in 0..h {
-                for x in 0..w {
-                    let mut acc = 0.0f32;
-                    for c in 0..ic {
-                        for dy in 0..kh {
-                            let iy = y as isize + dy as isize - ph as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for dx in 0..kw {
-                                let ix = x as isize + dx as isize - pw as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                let iv = id[((b * ic + c) * h + iy as usize) * w + ix as usize];
-                                let kv = kd[((o * ic + c) * kh + dy) * kw + dx];
-                                acc += iv * kv;
-                            }
-                        }
-                    }
-                    out[((b * oc + o) * h + y) * w + x] = acc;
-                }
-            }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let work = |images: Range<usize>| {
+        let mut cols = vec![0.0f32; taps * hw];
+        for b in images {
+            im2col(&id[b * ic * hw..(b + 1) * ic * hw], ic, h, w, kh, kw, ph, pw, &mut cols);
+            // SAFETY: image b owns output rows [b·oc·hw, (b+1)·oc·hw).
+            let ob = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.get().add(b * oc * hw), oc * hw)
+            };
+            gemm::matmul_into_serial(kd, &cols, oc, taps, hw, ob);
         }
+    };
+    if n > 1 && oc * taps * hw >= PARALLEL_MIN_FLOPS {
+        pool::parallel_rows(n, work);
+    } else {
+        work(0..n);
     }
     Tensor::from_vec(out, [n, oc, h, w])
 }
 
-/// Gradient of [`conv2d`] with respect to the input: correlation of the
-/// output gradient with the kernel flipped in both spatial axes and
-/// transposed in its channel axes.
+/// Gradient of [`conv2d`] with respect to the input: `K_flatᵀ · dOut` per
+/// image, folded back with [`col2im`].
 ///
 /// # Errors
 ///
 /// Returns rank/shape errors on inconsistent operands.
-pub fn conv2d_grad_input(
-    grad_out: &Tensor,
-    kernel: &Tensor,
-) -> Result<Tensor, TensorError> {
+pub fn conv2d_grad_input(grad_out: &Tensor, kernel: &Tensor) -> Result<Tensor, TensorError> {
     let (n, oc, h, w) = as_nchw(grad_out)?;
     let (koc, ic, kh, kw) = as_nchw(kernel)?;
     if koc != oc {
@@ -98,42 +195,42 @@ pub fn conv2d_grad_input(
         });
     }
     let (ph, pw) = (kh / 2, kw / 2);
-    let mut out = vec![0.0f32; n * ic * h * w];
+    let hw = h * w;
+    let taps = ic * kh * kw;
+    let mut out = vec![0.0f32; n * ic * hw];
     let gd = grad_out.data();
     let kd = kernel.data();
-    for b in 0..n {
-        for c in 0..ic {
-            for y in 0..h {
-                for x in 0..w {
-                    let mut acc = 0.0f32;
-                    for o in 0..oc {
-                        for dy in 0..kh {
-                            // Output position that consumed input (y, x)
-                            // with kernel offset (dy, dx): oy = y - dy + ph.
-                            let oy = y as isize - dy as isize + ph as isize;
-                            if oy < 0 || oy >= h as isize {
-                                continue;
-                            }
-                            for dx in 0..kw {
-                                let ox = x as isize - dx as isize + pw as isize;
-                                if ox < 0 || ox >= w as isize {
-                                    continue;
-                                }
-                                let gv = gd[((b * oc + o) * h + oy as usize) * w + ox as usize];
-                                let kv = kd[((o * ic + c) * kh + dy) * kw + dx];
-                                acc += gv * kv;
-                            }
-                        }
-                    }
-                    out[((b * ic + c) * h + y) * w + x] = acc;
-                }
-            }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let work = |images: Range<usize>| {
+        let mut dcols = vec![0.0f32; taps * hw];
+        for b in images {
+            // dCols (taps × hw) = K_flatᵀ (taps × oc) · dOut_b (oc × hw):
+            // each element is a fresh FMA chain over output channels.
+            gemm::matmul_tn_into_serial(
+                kd,
+                &gd[b * oc * hw..(b + 1) * oc * hw],
+                taps,
+                oc,
+                hw,
+                &mut dcols,
+            );
+            // SAFETY: image b owns input-gradient rows [b·ic·hw, (b+1)·ic·hw).
+            let ib = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.get().add(b * ic * hw), ic * hw)
+            };
+            col2im(&dcols, ic, h, w, kh, kw, ph, pw, ib);
         }
+    };
+    if n > 1 && oc * taps * hw >= PARALLEL_MIN_FLOPS {
+        pool::parallel_rows(n, work);
+    } else {
+        work(0..n);
     }
     Tensor::from_vec(out, [n, ic, h, w])
 }
 
-/// Gradient of [`conv2d`] with respect to the kernel.
+/// Gradient of [`conv2d`] with respect to the kernel: `dOut_b · cols_bᵀ`
+/// accumulated over images in batch order via the GEMM accumulate path.
 ///
 /// # Errors
 ///
@@ -154,34 +251,18 @@ pub fn conv2d_grad_kernel(
         });
     }
     let (ph, pw) = (kh / 2, kw / 2);
-    let mut out = vec![0.0f32; oc * ic * kh * kw];
+    let hw = h * w;
+    let taps = ic * kh * kw;
+    let mut out = vec![0.0f32; oc * taps];
     let id = input.data();
     let gd = grad_out.data();
-    for o in 0..oc {
-        for c in 0..ic {
-            for dy in 0..kh {
-                for dx in 0..kw {
-                    let mut acc = 0.0f32;
-                    for b in 0..n {
-                        for y in 0..h {
-                            let iy = y as isize + dy as isize - ph as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for x in 0..w {
-                                let ix = x as isize + dx as isize - pw as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                acc += id[((b * ic + c) * h + iy as usize) * w + ix as usize]
-                                    * gd[((b * oc + o) * h + y) * w + x];
-                            }
-                        }
-                    }
-                    out[((o * ic + c) * kh + dy) * kw + dx] = acc;
-                }
-            }
-        }
+    let mut cols = vec![0.0f32; taps * hw];
+    // The image loop is sequential on purpose: each image *continues* every
+    // output element's FMA chain (accumulate initializes registers from the
+    // running sum), which is bitwise one long chain over (b, y, x).
+    for b in 0..n {
+        im2col(&id[b * ic * hw..(b + 1) * ic * hw], ic, h, w, kh, kw, ph, pw, &mut cols);
+        gemm::matmul_nt_acc(&gd[b * oc * hw..(b + 1) * oc * hw], &cols, oc, hw, taps, &mut out);
     }
     Tensor::from_vec(out, [oc, ic, kh, kw])
 }
@@ -238,6 +319,178 @@ pub fn global_avg_pool_grad(
     Tensor::from_vec(out, [n, c, h, w])
 }
 
+/// Naive per-element convolution kernels defining the bit-level semantics of
+/// the im2col/GEMM fast paths above.
+///
+/// Every output element is one `mul_add` chain; padding taps contribute an
+/// explicit `fma(·, 0, acc)` term so the chain shape matches the zero-padded
+/// column matrices exactly. `tests/kernel_equivalence.rs` asserts `==`
+/// between these and the fast kernels across shapes and thread counts.
+pub mod reference {
+    use super::as_nchw;
+    use crate::tensor::Tensor;
+    use crate::TensorError;
+
+    /// Reference forward convolution (see [`super::conv2d`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors on inconsistent operands.
+    pub fn conv2d(input: &Tensor, kernel: &Tensor) -> Result<Tensor, TensorError> {
+        let (n, ic, h, w) = as_nchw(input)?;
+        let (oc, kic, kh, kw) = as_nchw(kernel)?;
+        if kic != ic {
+            return Err(TensorError::ShapeMismatch {
+                expected: ic,
+                actual: kic,
+                context: "conv::reference::conv2d (input channels)",
+            });
+        }
+        let (ph, pw) = (kh / 2, kw / 2);
+        let mut out = vec![0.0f32; n * oc * h * w];
+        let id = input.data();
+        let kd = kernel.data();
+        for b in 0..n {
+            for o in 0..oc {
+                for y in 0..h {
+                    for x in 0..w {
+                        let mut acc = 0.0f32;
+                        for c in 0..ic {
+                            for dy in 0..kh {
+                                let iy = y as isize + dy as isize - ph as isize;
+                                let row_ok = iy >= 0 && iy < h as isize;
+                                for dx in 0..kw {
+                                    let ix = x as isize + dx as isize - pw as isize;
+                                    let iv = if row_ok && ix >= 0 && ix < w as isize {
+                                        id[((b * ic + c) * h + iy as usize) * w + ix as usize]
+                                    } else {
+                                        0.0
+                                    };
+                                    let kv = kd[((o * ic + c) * kh + dy) * kw + dx];
+                                    acc = kv.mul_add(iv, acc);
+                                }
+                            }
+                        }
+                        out[((b * oc + o) * h + y) * w + x] = acc;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, [n, oc, h, w])
+    }
+
+    /// Reference input gradient (see [`super::conv2d_grad_input`]): for each
+    /// input position, taps are visited `(dy, dx)` ascending; each in-range
+    /// tap contributes one FMA chain over output channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors on inconsistent operands.
+    pub fn conv2d_grad_input(grad_out: &Tensor, kernel: &Tensor) -> Result<Tensor, TensorError> {
+        let (n, oc, h, w) = as_nchw(grad_out)?;
+        let (koc, ic, kh, kw) = as_nchw(kernel)?;
+        if koc != oc {
+            return Err(TensorError::ShapeMismatch {
+                expected: oc,
+                actual: koc,
+                context: "conv::reference::conv2d_grad_input (output channels)",
+            });
+        }
+        let (ph, pw) = (kh / 2, kw / 2);
+        let mut out = vec![0.0f32; n * ic * h * w];
+        let gd = grad_out.data();
+        let kd = kernel.data();
+        for b in 0..n {
+            for c in 0..ic {
+                for y in 0..h {
+                    for x in 0..w {
+                        let mut acc = 0.0f32;
+                        for dy in 0..kh {
+                            // Output position that consumed input (y, x)
+                            // with kernel offset (dy, dx): oy = y - dy + ph.
+                            let oy = y as isize - dy as isize + ph as isize;
+                            if oy < 0 || oy >= h as isize {
+                                continue;
+                            }
+                            for dx in 0..kw {
+                                let ox = x as isize - dx as isize + pw as isize;
+                                if ox < 0 || ox >= w as isize {
+                                    continue;
+                                }
+                                let mut t = 0.0f32;
+                                for o in 0..oc {
+                                    let kv = kd[((o * ic + c) * kh + dy) * kw + dx];
+                                    let gv =
+                                        gd[((b * oc + o) * h + oy as usize) * w + ox as usize];
+                                    t = kv.mul_add(gv, t);
+                                }
+                                acc += t;
+                            }
+                        }
+                        out[((b * ic + c) * h + y) * w + x] = acc;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, [n, ic, h, w])
+    }
+
+    /// Reference kernel gradient (see [`super::conv2d_grad_kernel`]): one
+    /// FMA chain per kernel weight over `(b, y, x)` ascending, padding taps
+    /// as explicit zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors on inconsistent operands.
+    pub fn conv2d_grad_kernel(
+        input: &Tensor,
+        grad_out: &Tensor,
+        kh: usize,
+        kw: usize,
+    ) -> Result<Tensor, TensorError> {
+        let (n, ic, h, w) = as_nchw(input)?;
+        let (gn, oc, gh, gw) = as_nchw(grad_out)?;
+        if gn != n || gh != h || gw != w {
+            return Err(TensorError::ShapeMismatch {
+                expected: n * h * w,
+                actual: gn * gh * gw,
+                context: "conv::reference::conv2d_grad_kernel (geometry)",
+            });
+        }
+        let (ph, pw) = (kh / 2, kw / 2);
+        let mut out = vec![0.0f32; oc * ic * kh * kw];
+        let id = input.data();
+        let gd = grad_out.data();
+        for o in 0..oc {
+            for c in 0..ic {
+                for dy in 0..kh {
+                    for dx in 0..kw {
+                        let mut acc = 0.0f32;
+                        for b in 0..n {
+                            for y in 0..h {
+                                let iy = y as isize + dy as isize - ph as isize;
+                                let row_ok = iy >= 0 && iy < h as isize;
+                                for x in 0..w {
+                                    let ix = x as isize + dx as isize - pw as isize;
+                                    let iv = if row_ok && ix >= 0 && ix < w as isize {
+                                        id[((b * ic + c) * h + iy as usize) * w + ix as usize]
+                                    } else {
+                                        0.0
+                                    };
+                                    let gv = gd[((b * oc + o) * h + y) * w + x];
+                                    acc = gv.mul_add(iv, acc);
+                                }
+                            }
+                        }
+                        out[((o * ic + c) * kh + dy) * kw + dx] = acc;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, [oc, ic, kh, kw])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +532,36 @@ mod tests {
         let k = Tensor::zeros([1, 3, 3, 3]);
         assert!(conv2d(&x, &k).is_err());
         assert!(conv2d(&Tensor::zeros([2, 4]), &k).is_err());
+    }
+
+    #[test]
+    fn fast_conv_kernels_are_bitwise_equal_to_references() {
+        for &(n, ic, oc, h, w, kh, kw) in &[
+            (1usize, 1usize, 1usize, 4usize, 4usize, 3usize, 3usize),
+            (2, 3, 4, 6, 5, 3, 3),
+            (3, 2, 5, 7, 7, 5, 5),
+            (2, 4, 2, 8, 8, 1, 1),
+        ] {
+            let mut rng = init::rng((n * ic * oc * h) as u64);
+            let x = init::normal(&mut rng, [n, ic, h, w], 0.0, 1.0);
+            let k = init::normal(&mut rng, [oc, ic, kh, kw], 0.0, 0.5);
+            let g = init::normal(&mut rng, [n, oc, h, w], 0.0, 1.0);
+            assert_eq!(
+                conv2d(&x, &k).unwrap(),
+                reference::conv2d(&x, &k).unwrap(),
+                "forward {n}x{ic}x{oc}x{h}x{w} k{kh}x{kw}"
+            );
+            assert_eq!(
+                conv2d_grad_input(&g, &k).unwrap(),
+                reference::conv2d_grad_input(&g, &k).unwrap(),
+                "grad-input {n}x{ic}x{oc}x{h}x{w} k{kh}x{kw}"
+            );
+            assert_eq!(
+                conv2d_grad_kernel(&x, &g, kh, kw).unwrap(),
+                reference::conv2d_grad_kernel(&x, &g, kh, kw).unwrap(),
+                "grad-kernel {n}x{ic}x{oc}x{h}x{w} k{kh}x{kw}"
+            );
+        }
     }
 
     #[test]

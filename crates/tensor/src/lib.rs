@@ -15,6 +15,9 @@
 //!
 //! * [`Tensor`] / [`Shape`] — dense values and their shapes.
 //! * [`ops`] — forward kernels (matmul, softmax cross-entropy, batch norm…).
+//! * [`gemm`] — blocked, SIMD-dispatched matrix multiply with naive
+//!   bit-equal [`gemm::reference`] kernels.
+//! * [`pool`] — the process-wide worker pool all parallel kernels share.
 //! * [`autograd`] — a tape recording one micro-batch's forward pass.
 //! * [`optim`] — SGD/momentum and Adam/AdamW plus LR schedules.
 //! * [`reduce`] — deterministic gradient reduction strategies.
@@ -49,9 +52,11 @@
 pub mod autograd;
 pub mod conv;
 mod error;
+pub mod gemm;
 pub mod init;
 pub mod ops;
 pub mod optim;
+pub mod pool;
 pub mod reduce;
 mod shape;
 mod tensor;

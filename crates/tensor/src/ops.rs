@@ -36,23 +36,46 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             right: (k2, n),
         });
     }
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        for p in 0..k1 {
-            let av = ad[i * k1 + p];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
+    // The blocked/SIMD kernel deliberately has no zero-skip shortcut: a zero
+    // operand times NaN or ±∞ must propagate, and every element is one FMA
+    // chain over the inner dimension regardless of sparsity or thread count.
+    Tensor::from_vec(crate::gemm::matmul(a.data(), b.data(), m, k1, n), [m, n])
+}
+
+/// `a · bᵀ` without materializing the transpose: `a (m×k)`, `b (n×k)`,
+/// result `(m×n)` — the `dA = dC·Bᵀ` shape of the matmul backward pass.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulDims`] if the inner dimensions disagree.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k1) = a.shape().as_rows_cols();
+    let (n, k2) = b.shape().as_rows_cols();
+    if k1 != k2 {
+        return Err(TensorError::MatmulDims {
+            left: (m, k1),
+            right: (k2, n),
+        });
     }
-    Tensor::from_vec(out, [m, n])
+    Tensor::from_vec(crate::gemm::matmul_nt(a.data(), b.data(), m, k1, n), [m, n])
+}
+
+/// `aᵀ · b` without materializing the transpose: `a (k×m)`, `b (k×n)`,
+/// result `(m×n)` — the `dB = Aᵀ·dC` shape of the matmul backward pass.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulDims`] if the leading dimensions disagree.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (k1, m) = a.shape().as_rows_cols();
+    let (k2, n) = b.shape().as_rows_cols();
+    if k1 != k2 {
+        return Err(TensorError::MatmulDims {
+            left: (m, k1),
+            right: (k2, n),
+        });
+    }
+    Tensor::from_vec(crate::gemm::matmul_tn(a.data(), b.data(), m, k1, n), [m, n])
 }
 
 /// Transpose of a rank-≤2 tensor.
@@ -500,6 +523,34 @@ mod tests {
         let c = matmul(&a, &b).unwrap();
         assert_eq!(c.shape().dims(), &[1, 2]);
         assert_eq!(c.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf_through_zero_entries() {
+        // Regression: the seed kernel skipped a-entries equal to 0.0, so a
+        // NaN/∞ in the matching b-row was silently dropped instead of
+        // poisoning the output. IEEE semantics: 0·NaN = NaN, 0·∞ = NaN.
+        let a = t(vec![0.0, 1.0], [1, 2]);
+        let b = t(vec![f32::NAN, f32::INFINITY, 5.0, 7.0], [2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.data()[0].is_nan(), "0·NaN must poison the output");
+        assert!(c.data()[1].is_nan(), "0·∞ must poison the output");
+    }
+
+    #[test]
+    fn matmul_nt_and_tn_match_explicit_transposes() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = t(vec![0.5, -1.0, 2.0, 0.25, -0.75, 1.5], [2, 3]);
+        // a (2×3) · bᵀ (3×2) via NT == a · transpose(b).
+        let nt = matmul_nt(&a, &b).unwrap();
+        let via_t = matmul(&a, &transpose(&b)).unwrap();
+        assert!(nt.approx_eq(&via_t, 1e-6));
+        // aᵀ (3×2) · b (2×3) via TN == transpose(a) · b.
+        let tn = matmul_tn(&a, &b).unwrap();
+        let via_t2 = matmul(&transpose(&a), &b).unwrap();
+        assert!(tn.approx_eq(&via_t2, 1e-6));
+        assert!(matmul_nt(&a, &t(vec![0.0; 4], [2, 2])).is_err());
+        assert!(matmul_tn(&a, &t(vec![0.0; 9], [3, 3])).is_err());
     }
 
     #[test]

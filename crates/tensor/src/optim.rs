@@ -6,9 +6,26 @@
 //! regardless of how many virtual nodes contributed — which is what keeps the
 //! optimizer state identical across hardware configurations.
 
+use crate::pool::{self, SendPtr};
 use crate::tensor::Tensor;
 use crate::TensorError;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Parameters smaller than this update inline; pool dispatch overhead beats
+/// the win for tiny tensors. Length-only, so the decision is deterministic.
+const PARALLEL_MIN_LEN: usize = 4096;
+
+/// Runs `body` over disjoint chunks of `0..len`, in parallel for large
+/// parameters. Chunk boundaries never change per-element arithmetic, so the
+/// update is bit-identical under any thread count.
+fn for_each_chunk(len: usize, body: impl Fn(Range<usize>) + Sync) {
+    if len < PARALLEL_MIN_LEN {
+        body(0..len);
+    } else {
+        pool::parallel_rows(len, body);
+    }
+}
 
 /// A snapshot of an optimizer's mutable state, for checkpointing.
 ///
@@ -124,6 +141,7 @@ impl Optimizer for Sgd {
         if self.momentum != 0.0 && self.velocity.is_empty() {
             self.velocity = params.iter().map(|p| Tensor::zeros(p.shape().clone())).collect();
         }
+        let (lr, mom, wd) = (self.lr, self.momentum, self.weight_decay);
         for (i, (p, g)) in params.iter_mut().zip(grads.iter()).enumerate() {
             if p.shape() != g.shape() {
                 return Err(TensorError::ShapeMismatch {
@@ -132,17 +150,34 @@ impl Optimizer for Sgd {
                     context: "Sgd::step",
                 });
             }
-            let mut eff = g.clone();
-            if self.weight_decay != 0.0 {
-                eff.add_assign(&p.scale(self.weight_decay))?;
-            }
-            if self.momentum != 0.0 {
-                let v = &mut self.velocity[i];
-                v.scale_assign(self.momentum);
-                v.add_assign(&eff)?;
-                eff = v.clone();
-            }
-            p.add_assign(&eff.scale(-self.lr))?;
+            // Fused form of: eff = g (+ wd·p); v = mom·v + eff; p += -lr·eff.
+            // Per-element arithmetic order matches the unfused tensor ops.
+            let len = p.len();
+            let gd = g.data();
+            let p_ptr = SendPtr(p.data_mut().as_mut_ptr());
+            let v_ptr = if mom != 0.0 {
+                Some(SendPtr(self.velocity[i].data_mut().as_mut_ptr()))
+            } else {
+                None
+            };
+            for_each_chunk(len, |r| {
+                // SAFETY: chunks cover disjoint index ranges of p and v.
+                let pd = unsafe { std::slice::from_raw_parts_mut(p_ptr.get().add(r.start), r.len()) };
+                let gd = &gd[r.clone()];
+                for (j, pj) in pd.iter_mut().enumerate() {
+                    let mut e = gd[j];
+                    if wd != 0.0 {
+                        e += *pj * wd;
+                    }
+                    if let Some(vp) = v_ptr {
+                        // SAFETY: same disjoint-range argument as above.
+                        let vj = unsafe { &mut *vp.get().add(r.start + j) };
+                        *vj = *vj * mom + e;
+                        e = *vj;
+                    }
+                    *pj += e * -lr;
+                }
+            });
         }
         self.steps += 1;
         Ok(())
@@ -242,31 +277,33 @@ impl Optimizer for Adam {
                     context: "Adam::step",
                 });
             }
-            let m = &mut self.m[i];
-            let v = &mut self.v[i];
-            for ((md, vd), &gd) in m
-                .data_mut()
-                .iter_mut()
-                .zip(v.data_mut().iter_mut())
-                .zip(g.data().iter())
-            {
-                *md = self.beta1 * *md + (1.0 - self.beta1) * gd;
-                *vd = self.beta2 * *vd + (1.0 - self.beta2) * gd * gd;
-            }
-            for ((pd, &md), &vd) in p
-                .data_mut()
-                .iter_mut()
-                .zip(m.data().iter())
-                .zip(v.data().iter())
-            {
-                let mhat = md / bc1;
-                let vhat = vd / bc2;
-                let mut update = self.lr * mhat / (vhat.sqrt() + self.eps);
-                if self.weight_decay != 0.0 {
-                    update += self.lr * self.weight_decay * *pd;
+            // Fused moment + parameter update; per-element arithmetic order
+            // matches the original two-pass loops exactly (each element's
+            // moments are finalized before its parameter update reads them).
+            let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+            let len = p.len();
+            let gd = g.data();
+            let p_ptr = SendPtr(p.data_mut().as_mut_ptr());
+            let m_ptr = SendPtr(self.m[i].data_mut().as_mut_ptr());
+            let v_ptr = SendPtr(self.v[i].data_mut().as_mut_ptr());
+            for_each_chunk(len, |r| {
+                // SAFETY: chunks cover disjoint index ranges of p, m, and v.
+                let pd = unsafe { std::slice::from_raw_parts_mut(p_ptr.get().add(r.start), r.len()) };
+                let md = unsafe { std::slice::from_raw_parts_mut(m_ptr.get().add(r.start), r.len()) };
+                let vd = unsafe { std::slice::from_raw_parts_mut(v_ptr.get().add(r.start), r.len()) };
+                let gd = &gd[r.clone()];
+                for j in 0..gd.len() {
+                    md[j] = b1 * md[j] + (1.0 - b1) * gd[j];
+                    vd[j] = b2 * vd[j] + (1.0 - b2) * gd[j] * gd[j];
+                    let mhat = md[j] / bc1;
+                    let vhat = vd[j] / bc2;
+                    let mut update = lr * mhat / (vhat.sqrt() + eps);
+                    if wd != 0.0 {
+                        update += lr * wd * pd[j];
+                    }
+                    pd[j] -= update;
                 }
-                *pd -= update;
-            }
+            });
         }
         Ok(())
     }

@@ -1,0 +1,318 @@
+//! A process-wide worker pool for deterministic data parallelism.
+//!
+//! VirtualFlow's reproducibility story (paper §3.2) requires that the *same
+//! logical computation* produce bit-identical results no matter how much
+//! physical parallelism executes it. This pool delivers that by construction:
+//! work is only ever partitioned over *independent output regions* (disjoint
+//! row ranges, disjoint tasks), and each output element is computed by exactly
+//! the same sequence of floating-point operations regardless of which thread
+//! runs it or how the range is chunked. Threads change *who* computes, never
+//! *what* is computed.
+//!
+//! Design:
+//!
+//! * One lazily-created pool per process. Worker count is
+//!   `VF_NUM_THREADS − 1` (env, default: available parallelism), fixed at
+//!   first use; the submitting thread always participates, so a pool with
+//!   zero workers degrades to plain sequential execution with no queueing.
+//! * [`set_num_threads`] changes only the *logical* chunk count used by
+//!   [`parallel_rows`]. Because chunk boundaries never affect per-element
+//!   FLOP order, this is safe to vary at runtime — which is exactly what the
+//!   kernel-equivalence tests exploit to compare 1/2/8-way chunking
+//!   bit-for-bit inside one process.
+//! * Submitters help drain their own job, so nested submissions (a parallel
+//!   kernel inside a parallel device step) cannot deadlock: the inner
+//!   submitter completes its own chunks even if every worker is busy.
+//! * Worker panics are caught, recorded, and re-raised on the submitting
+//!   thread once the job has fully drained.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A raw pointer wrapper that may be sent across pool threads.
+///
+/// Used by kernels to hand each chunk a mutable view of a *disjoint* region
+/// of one output buffer. Safety rests entirely on disjointness: callers must
+/// guarantee no two chunks touch the same element.
+pub(crate) struct SendPtr<T>(pub *mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer.
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Logical thread count: 0 means "not yet initialized from the environment".
+static LOGICAL: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of logical threads parallel kernels chunk their work into.
+///
+/// Initialized from `VF_NUM_THREADS` (if set to a positive integer) or the
+/// machine's available parallelism, and overridable via [`set_num_threads`].
+pub fn num_threads() -> usize {
+    let n = LOGICAL.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let n = std::env::var("VF_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    // A benign race: concurrent first calls compute the same value.
+    LOGICAL.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Overrides the logical thread count used for chunking.
+///
+/// This does not grow or shrink the physical worker set (fixed at first pool
+/// use); it only changes how many chunks [`parallel_rows`] splits work into.
+/// Results are bit-identical under any setting — that invariant is what the
+/// equivalence tests assert.
+pub fn set_num_threads(n: usize) {
+    LOGICAL.store(n.max(1), Ordering::Relaxed);
+}
+
+/// One submitted parallel job: `total` chunks drained by an atomic claim
+/// counter. `func` is a type-erased borrow of the submitter's closure; the
+/// submitter blocks until `done == total`, which keeps the borrow alive for
+/// as long as any worker can dereference it.
+struct Job {
+    func: *const (dyn Fn(usize) + Sync),
+    total: usize,
+    next: AtomicUsize,
+    done: Mutex<usize>,
+    complete: Condvar,
+    panicked: AtomicBool,
+}
+
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+    workers: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = num_threads().saturating_sub(1);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            workers,
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("vf-pool-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("spawn vf-tensor pool worker");
+        }
+        pool
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().expect("pool queue poisoned");
+            loop {
+                // Discard fully-claimed jobs; their chunks are finishing on
+                // the threads that claimed them.
+                while let Some(front) = q.front() {
+                    if front.next.load(Ordering::SeqCst) >= front.total {
+                        q.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(front) = q.front() {
+                    break Arc::clone(front);
+                }
+                q = pool.available.wait(q).expect("pool queue poisoned");
+            }
+        };
+        run_chunks(&job);
+    }
+}
+
+/// Claims and executes chunks of `job` until none remain unclaimed.
+fn run_chunks(job: &Job) {
+    loop {
+        let c = job.next.fetch_add(1, Ordering::SeqCst);
+        if c >= job.total {
+            break;
+        }
+        // SAFETY: the submitter keeps the closure alive until every claimed
+        // chunk has been counted in `done`, which happens after this call.
+        let f = unsafe { &*job.func };
+        if catch_unwind(AssertUnwindSafe(|| f(c))).is_err() {
+            job.panicked.store(true, Ordering::SeqCst);
+        }
+        let mut done = job.done.lock().expect("job completion lock poisoned");
+        *done += 1;
+        if *done == job.total {
+            job.complete.notify_all();
+        }
+    }
+}
+
+/// Runs `body(0..total)` chunk indices across the pool, helping from the
+/// submitting thread, and returns once every chunk has finished.
+fn run_job(body: &(dyn Fn(usize) + Sync), total: usize) {
+    if total == 0 {
+        return;
+    }
+    let pool = pool();
+    if pool.workers == 0 || total == 1 {
+        // Sequential fast path: same chunks, same order, same arithmetic.
+        for c in 0..total {
+            body(c);
+        }
+        return;
+    }
+    // SAFETY: the lifetime erasure is sound because `run_job` blocks until
+    // `done == total`, i.e. until no thread can still dereference `func`.
+    let func = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(body)
+    };
+    let job = Arc::new(Job {
+        func: func as *const (dyn Fn(usize) + Sync),
+        total,
+        next: AtomicUsize::new(0),
+        done: Mutex::new(0),
+        complete: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+    pool.queue
+        .lock()
+        .expect("pool queue poisoned")
+        .push_back(Arc::clone(&job));
+    pool.available.notify_all();
+    run_chunks(&job);
+    let mut done = job.done.lock().expect("job completion lock poisoned");
+    while *done < job.total {
+        done = job.complete.wait(done).expect("job completion lock poisoned");
+    }
+    drop(done);
+    if job.panicked.load(Ordering::SeqCst) {
+        panic!("vf-tensor pool: a parallel chunk panicked");
+    }
+}
+
+/// Splits `rows` into at most [`num_threads`] contiguous ranges and runs
+/// `body` on each, possibly concurrently.
+///
+/// Each range is independent: `body` must only write output locations owned
+/// by its range. Under that contract the result is bit-identical to calling
+/// `body(0..rows)` sequentially, because no per-element operation order
+/// changes — the partition only decides which thread computes which rows.
+pub fn parallel_rows(rows: usize, body: impl Fn(Range<usize>) + Sync) {
+    if rows == 0 {
+        return;
+    }
+    let chunks = num_threads().min(rows);
+    let base = rows / chunks;
+    let rem = rows % chunks;
+    let range_of = move |c: usize| {
+        let start = c * base + c.min(rem);
+        let len = base + usize::from(c < rem);
+        start..start + len
+    };
+    let run = move |c: usize| body(range_of(c));
+    run_job(&run, chunks);
+}
+
+/// Runs `n` independent tasks, one chunk each, and collects their results in
+/// task order.
+///
+/// This is the engine's device fan-out: each device processes its virtual
+/// nodes in a task, results come back positionally, and the caller reduces
+/// them in a fixed order — so scheduling never affects the outcome.
+pub fn parallel_tasks<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    {
+        let slots = SendPtr(out.as_mut_ptr());
+        let run = move |i: usize| {
+            let v = f(i);
+            // SAFETY: each task index writes only its own slot.
+            unsafe { *slots.get().add(i) = Some(v) };
+        };
+        run_job(&run, n);
+    }
+    out.into_iter()
+        .map(|o| o.expect("pool task completed without a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_rows_covers_every_row_exactly_once() {
+        let rows = 1003;
+        let hits: Vec<AtomicUsize> = (0..rows).map(|_| AtomicUsize::new(0)).collect();
+        parallel_rows(rows, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn parallel_tasks_returns_results_in_task_order() {
+        let out = parallel_tasks(17, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunking_is_identical_for_any_thread_count() {
+        // The partition must tile [0, rows) in order, for every chunk count.
+        for rows in [1usize, 2, 7, 64, 1000] {
+            for chunks in [1usize, 2, 3, 8, 64] {
+                let chunks = chunks.min(rows);
+                let base = rows / chunks;
+                let rem = rows % chunks;
+                let mut next = 0;
+                for c in 0..chunks {
+                    let start = c * base + c.min(rem);
+                    let len = base + usize::from(c < rem);
+                    assert_eq!(start, next);
+                    next = start + len;
+                }
+                assert_eq!(next, rows);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_and_zero_tasks_are_noops() {
+        parallel_rows(0, |_| panic!("must not run"));
+        let out: Vec<u8> = parallel_tasks(0, |_| panic!("must not run"));
+        assert!(out.is_empty());
+    }
+}

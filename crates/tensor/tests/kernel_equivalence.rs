@@ -1,0 +1,147 @@
+//! Property-based bit-equivalence of the fast kernels and their references.
+//!
+//! The determinism contract of the kernel layer is *exact*: for every shape
+//! and every logical thread count, the blocked/SIMD/parallel GEMM and the
+//! im2col convolution lowering must produce bitwise-identical outputs to the
+//! naive reference kernels retained in `gemm::reference` and
+//! `conv::reference`. These properties drive random shapes through both
+//! paths under thread counts 1, 2, and 8 and compare with `==` (no
+//! tolerance). Chunking is varied inside one process via
+//! `pool::set_num_threads`, which only changes how work is partitioned —
+//! never per-element FLOP order.
+
+use proptest::prelude::*;
+use vf_tensor::{conv, gemm, init, pool, Tensor};
+
+/// Thread counts each property is exercised under. 1 is the sequential
+/// baseline, 2 splits work, 8 exceeds this machine's core count (chunks
+/// queue and drain in any order, which must not matter).
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn tensor(dims: [usize; 2], seed: u64) -> Tensor {
+    init::normal(&mut init::rng(seed), dims, 0.0, 1.0)
+}
+
+proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_is_bitwise_equal_to_reference(
+        m in 1usize..=80,
+        k in 1usize..=80,
+        n in 1usize..=80,
+        seed in any::<u64>(),
+    ) {
+        let a = tensor([m, k], seed);
+        let b = tensor([k, n], seed.wrapping_add(1));
+        let want = gemm::reference::matmul(a.data(), b.data(), m, k, n);
+        for t in THREADS {
+            pool::set_num_threads(t);
+            let got = gemm::matmul(a.data(), b.data(), m, k, n);
+            prop_assert_eq!(&got, &want, "matmul {}x{}x{} threads={}", m, k, n, t);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_is_bitwise_equal_to_reference(
+        m in 1usize..=48,
+        k in 1usize..=48,
+        n in 1usize..=48,
+        seed in any::<u64>(),
+    ) {
+        let a = tensor([m, k], seed);
+        let b = tensor([n, k], seed.wrapping_add(1));
+        let want = gemm::reference::matmul_nt(a.data(), b.data(), m, k, n);
+        for t in THREADS {
+            pool::set_num_threads(t);
+            let got = gemm::matmul_nt(a.data(), b.data(), m, k, n);
+            prop_assert_eq!(&got, &want, "matmul_nt {}x{}x{} threads={}", m, k, n, t);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_is_bitwise_equal_to_reference(
+        m in 1usize..=48,
+        k in 1usize..=48,
+        n in 1usize..=48,
+        seed in any::<u64>(),
+    ) {
+        let a = tensor([k, m], seed);
+        let b = tensor([k, n], seed.wrapping_add(1));
+        let want = gemm::reference::matmul_tn(a.data(), b.data(), m, k, n);
+        for t in THREADS {
+            pool::set_num_threads(t);
+            let got = gemm::matmul_tn(a.data(), b.data(), m, k, n);
+            prop_assert_eq!(&got, &want, "matmul_tn {}x{}x{} threads={}", m, k, n, t);
+        }
+    }
+
+    #[test]
+    fn conv2d_forward_and_backward_are_bitwise_equal_to_reference(
+        n in 1usize..=3,
+        ic in 1usize..=4,
+        oc in 1usize..=4,
+        h in 1usize..=9,
+        w in 1usize..=9,
+        ks in 0usize..=2,
+        seed in any::<u64>(),
+    ) {
+        let (kh, kw) = [(1, 1), (3, 3), (5, 3)][ks];
+        let mut rng = init::rng(seed);
+        let x = init::normal(&mut rng, [n, ic, h, w], 0.0, 1.0);
+        let kern = init::normal(&mut rng, [oc, ic, kh, kw], 0.0, 0.5);
+        let g = init::normal(&mut rng, [n, oc, h, w], 0.0, 1.0);
+        let want_fwd = conv::reference::conv2d(&x, &kern).unwrap();
+        let want_gi = conv::reference::conv2d_grad_input(&g, &kern).unwrap();
+        let want_gk = conv::reference::conv2d_grad_kernel(&x, &g, kh, kw).unwrap();
+        for t in THREADS {
+            pool::set_num_threads(t);
+            prop_assert_eq!(
+                &conv::conv2d(&x, &kern).unwrap(), &want_fwd,
+                "conv2d n={} ic={} oc={} {}x{} k{}x{} threads={}", n, ic, oc, h, w, kh, kw, t
+            );
+            prop_assert_eq!(
+                &conv::conv2d_grad_input(&g, &kern).unwrap(), &want_gi,
+                "grad_input n={} ic={} oc={} {}x{} k{}x{} threads={}", n, ic, oc, h, w, kh, kw, t
+            );
+            prop_assert_eq!(
+                &conv::conv2d_grad_kernel(&x, &g, kh, kw).unwrap(), &want_gk,
+                "grad_kernel n={} ic={} oc={} {}x{} k{}x{} threads={}", n, ic, oc, h, w, kh, kw, t
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_special_values_match_reference(
+        m in 1usize..=16,
+        k in 1usize..=16,
+        n in 1usize..=16,
+        seed in any::<u64>(),
+    ) {
+        // Sprinkle zeros, NaN, and infinities: the fast path must propagate
+        // them exactly as the reference FMA chain does (no zero-skipping).
+        let specials = [0.0f32, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        let mut rng = init::rng(seed);
+        let mut a = init::normal(&mut rng, [m, k], 0.0, 1.0);
+        let mut b = init::normal(&mut rng, [k, n], 0.0, 1.0);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = specials[i % specials.len()];
+            }
+        }
+        for (i, v) in b.data_mut().iter_mut().enumerate() {
+            if i % 4 == 0 {
+                *v = specials[(i / 4) % specials.len()];
+            }
+        }
+        let want = gemm::reference::matmul(a.data(), b.data(), m, k, n);
+        for t in THREADS {
+            pool::set_num_threads(t);
+            let got = gemm::matmul(a.data(), b.data(), m, k, n);
+            // NaN != NaN, so compare bit patterns.
+            let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&got_bits, &want_bits, "special {}x{}x{} threads={}", m, k, n, t);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the checks every PR must keep green (see ROADMAP.md),
+# plus a zero-warning clippy gate over the whole workspace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build (release) =="
+cargo build --release
+
+echo "== tier 1: tests =="
+cargo test -q
+
+echo "== tier 1: clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier 1 OK"

@@ -1,0 +1,238 @@
+//! Std-only stand-in for the `rand` crate.
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! workspace vendors the minimal surface it actually uses: [`StdRng`] seeded
+//! via [`SeedableRng::seed_from_u64`], [`Rng::gen`] / [`Rng::gen_range`], and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256++ seeded by
+//! splitmix64 — deterministic across platforms, which is all the VirtualFlow
+//! reproduction requires (the paper's §3.2 guarantee is *within*-system
+//! bit-reproducibility, not compatibility with any particular RNG stream).
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Rngs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from raw bits ("standard" distribution).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + (rng.next_u64() as $t);
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let u = <$t as Standard>::sample(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// xoshiro256++ — small, fast, and with a splitmix64-expanded seed so that
+/// low-entropy seeds (0, 1, 2, …) still produce well-mixed streams.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq::SliceRandom;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f: f32 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = r.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = r.gen_range(600.0f64..3600.0);
+            assert!((600.0..3600.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(9));
+        let mut w: Vec<u32> = (0..50).collect();
+        w.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(v, w);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle should move something");
+    }
+}
