@@ -1,0 +1,174 @@
+//! Chaos bench: goodput and recovery accounting under fault injection.
+//!
+//! Runs the same training job under several fault intensities — fault-free,
+//! mild, heavy, savage — through the chaos supervisor, then reports for
+//! each scenario the recoveries, retries, backoff time, checkpoint
+//! fallbacks, and goodput relative to the fault-free run. The bench also
+//! *asserts* the paper's core claim: every scenario that never empties the
+//! fleet must finish with parameters bit-identical to the fault-free run,
+//! and exits nonzero if any diverges.
+//!
+//! Usage: `chaos_bench [--smoke]` — `--smoke` shrinks the run for the
+//! tier-1 suite (a few seconds of wall clock).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use vf_bench::report::{emit, print_table};
+use vf_comm::chaos::CommFaultModel;
+use vf_core::chaos::{ChaosConfig, ChaosReport, ChaosSupervisor};
+use vf_core::{Trainer, TrainerConfig};
+use vf_data::synthetic::ClusterTask;
+use vf_data::Dataset;
+use vf_device::{DeviceId, FailureModel, FaultPlan, SpotModel};
+use vf_models::trainable::Architecture;
+use vf_models::Mlp;
+
+const SEED: u64 = 2022;
+
+#[derive(serde::Serialize)]
+struct ScenarioResult {
+    scenario: String,
+    report: ChaosReport,
+    goodput_vs_fault_free: f64,
+    bit_identical_to_fault_free: bool,
+}
+
+fn parts() -> (Arc<dyn Architecture>, Arc<Dataset>, TrainerConfig) {
+    let dataset = Arc::new(ClusterTask::easy(SEED).generate().expect("generates"));
+    let arch: Arc<dyn Architecture> = Arc::new(Mlp::new(16, vec![8], 4).with_batch_norm());
+    let config = TrainerConfig::simple(8, 64, 0.1, SEED);
+    (arch, dataset, config)
+}
+
+fn devices(range: std::ops::Range<u32>) -> Vec<DeviceId> {
+    range.map(DeviceId).collect()
+}
+
+/// The fault plan for a named intensity, seeded off the bench seed.
+fn plan_for(name: &str) -> (FaultPlan, Option<CommFaultModel>) {
+    match name {
+        "fault-free" => (FaultPlan::new(SEED), None),
+        "mild" => (
+            FaultPlan::new(SEED)
+                .with_crashes(FailureModel::new(400.0, SEED).expect("valid"))
+                .with_preemptions(SpotModel::new(600.0, 60.0).expect("valid")),
+            Some(CommFaultModel::new(SEED, 0.01, 0.002, 0.01)),
+        ),
+        "heavy" => (
+            FaultPlan::new(SEED)
+                .with_crashes(FailureModel::new(180.0, SEED).expect("valid"))
+                .with_preemptions(SpotModel::new(300.0, 45.0).expect("valid")),
+            Some(CommFaultModel::new(SEED, 0.05, 0.01, 0.03)),
+        ),
+        "savage" => (
+            FaultPlan::new(SEED)
+                .with_crashes(FailureModel::new(90.0, SEED).expect("valid"))
+                .with_preemptions(SpotModel::new(180.0, 30.0).expect("valid")),
+            Some(CommFaultModel::new(SEED, 0.10, 0.02, 0.05)),
+        ),
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+fn run_scenario(name: &str, steps: u64) -> (ChaosReport, Vec<vf_tensor::Tensor>) {
+    let (arch, dataset, config) = parts();
+    let (plan, comm) = plan_for(name);
+    let mut cfg = ChaosConfig::new(plan, steps);
+    cfg.comm = comm;
+    cfg.cooldown_s = 90.0;
+    cfg.bootstrap_s = 20.0;
+    let sup = ChaosSupervisor::new(
+        arch,
+        dataset,
+        config,
+        &devices(0..4),
+        &devices(8..16),
+        cfg,
+    )
+    .expect("supervisor");
+    let out = sup.run().expect("scenario survives its fault plan");
+    let params = out.trainer.params().to_vec();
+    (out.report, params)
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let steps: u64 = if smoke { 120 } else { 300 };
+    println!("== chaos bench: {steps} steps per scenario ==\n");
+
+    // Plain-trainer reference for the bit-equality assertion.
+    let reference = {
+        let (arch, dataset, config) = parts();
+        let mut t = Trainer::new(arch, dataset, config, &devices(0..4)).expect("trainer");
+        t.run_steps(steps as usize).expect("runs");
+        t.params().to_vec()
+    };
+
+    let scenarios: &[&str] = if smoke {
+        &["fault-free", "mild", "heavy"]
+    } else {
+        &["fault-free", "mild", "heavy", "savage"]
+    };
+    // Plans that never empty the 4-device fleet (backed by 8 spares): for
+    // these the checkpoint last resort must stay untouched. Heavy and
+    // savage intensities *can* wipe the fleet — there the fallback is
+    // allowed, but the trajectory must still be bit-exact.
+    let non_emptying: &[&str] = &["fault-free", "mild"];
+
+    let mut results: Vec<ScenarioResult> = Vec::new();
+    let mut fault_free: Option<ChaosReport> = None;
+    let mut diverged = false;
+    for &name in scenarios {
+        let (report, params) = run_scenario(name, steps);
+        if name == "fault-free" {
+            fault_free = Some(report.clone());
+        }
+        let base = fault_free.as_ref().expect("fault-free runs first");
+        let identical = params == reference;
+        if !identical {
+            eprintln!("FAIL: scenario '{name}' diverged from the fault-free trajectory");
+            diverged = true;
+        }
+        if non_emptying.contains(&name) && report.checkpoint_fallbacks != 0 {
+            eprintln!("FAIL: non-emptying scenario '{name}' used the checkpoint last resort");
+            diverged = true;
+        }
+        results.push(ScenarioResult {
+            scenario: name.to_string(),
+            goodput_vs_fault_free: report.goodput_vs(base),
+            bit_identical_to_fault_free: identical,
+            report,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.report.faults_injected().to_string(),
+                r.report.recoveries.to_string(),
+                r.report.drained.to_string(),
+                r.report.recovery_retries.to_string(),
+                format!("{:.0}", r.report.backoff_total_s),
+                r.report.checkpoint_fallbacks.to_string(),
+                format!("{:.3}", r.goodput_vs_fault_free),
+                if r.bit_identical_to_fault_free { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "scenario", "faults", "recoveries", "drained", "retries", "backoff(s)",
+            "ckpt-fallbacks", "goodput", "bit-identical",
+        ],
+        &rows,
+    );
+
+    emit(if smoke { "BENCH_chaos_smoke" } else { "BENCH_chaos" }, &results);
+    if diverged {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

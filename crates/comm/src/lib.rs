@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 pub mod allreduce;
+pub mod chaos;
 pub mod membership;
 pub mod topology;
 
 pub use allreduce::LinkProfile;
+pub use chaos::{AttemptFault, CollectiveOutcome, CommFaultModel};
 pub use membership::{BootstrapPolicy, ElasticGroup, WorkerId};
 pub use topology::Topology;

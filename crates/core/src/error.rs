@@ -49,6 +49,23 @@ pub enum CoreError {
         /// Description of the inconsistency.
         reason: String,
     },
+    /// A failure was reported for a device the trainer is not running on.
+    UnknownDevice {
+        /// The device named in the failure report.
+        device: vf_device::DeviceId,
+    },
+    /// The chaos supervisor lost every device and had no spares to restore
+    /// onto — even the checkpoint-restart last resort is impossible.
+    FleetExhausted {
+        /// The training step at which the fleet emptied.
+        step: u64,
+    },
+    /// An all-reduce exhausted its retry budget; the worker group must be
+    /// treated as partitioned.
+    CommPartitioned {
+        /// Consecutive failed attempts.
+        attempts: u32,
+    },
     /// A tensor operation failed.
     Tensor(TensorError),
     /// A dataset/pipeline operation failed.
@@ -93,6 +110,18 @@ impl fmt::Display for CoreError {
             CoreError::BadPartitioning { reason } => {
                 write!(f, "invalid model-parallel partitioning: {reason}")
             }
+            CoreError::UnknownDevice { device } => write!(
+                f,
+                "cannot fail {device}: it is not in the trainer's device mapping"
+            ),
+            CoreError::FleetExhausted { step } => write!(
+                f,
+                "fleet exhausted at step {step}: no survivors and no spare devices to restore onto"
+            ),
+            CoreError::CommPartitioned { attempts } => write!(
+                f,
+                "all-reduce failed {attempts} consecutive attempts; worker group is partitioned"
+            ),
             CoreError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
             CoreError::Data(e) => write!(f, "data pipeline failed: {e}"),
             CoreError::Model(e) => write!(f, "model execution failed: {e}"),

@@ -34,22 +34,50 @@ pub struct FaultRecovery {
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::NoDevices`] if `failed` was the last device (with no
-/// replacement, recovery must fall back to a checkpoint, which VirtualFlow
-/// deliberately avoids needing), and mapping errors from redistribution.
+/// Returns [`CoreError::UnknownDevice`] if `failed` is not in the trainer's
+/// mapping (a stale or misrouted failure report must not silently
+/// "succeed"), [`CoreError::NoDevices`] if `failed` was the last device
+/// (with no replacement, recovery must fall back to a checkpoint, which
+/// VirtualFlow deliberately avoids needing), and mapping errors from
+/// redistribution.
 pub fn fail_device(
     trainer: &mut Trainer,
     failed: DeviceId,
     replacement: Option<DeviceId>,
 ) -> Result<FaultRecovery, CoreError> {
-    let mut survivors: Vec<DeviceId> = trainer
-        .mapping()
-        .devices()
+    let replacements: Vec<DeviceId> = replacement.into_iter().collect();
+    fail_devices(trainer, &[failed], &replacements)
+}
+
+/// Handles the *simultaneous* failure of several devices — the correlated
+/// case a rack outage produces. All failed replicas are discarded before
+/// any state is donated, so a dead device can never serve as a stateful
+/// kernel donor for another dead device's virtual nodes; the survivors
+/// (plus `replacements`) absorb everything in one migration.
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnknownDevice`] naming the first device not in the
+/// trainer's mapping, [`CoreError::NoDevices`] if the failure empties the
+/// fleet and no replacement is given, and mapping errors from
+/// redistribution.
+pub fn fail_devices(
+    trainer: &mut Trainer,
+    failed: &[DeviceId],
+    replacements: &[DeviceId],
+) -> Result<FaultRecovery, CoreError> {
+    let current = trainer.mapping().devices();
+    for f in failed {
+        if !current.contains(f) {
+            return Err(CoreError::UnknownDevice { device: *f });
+        }
+    }
+    let mut survivors: Vec<DeviceId> = current
         .into_iter()
-        .filter(|&d| d != failed)
+        .filter(|d| !failed.contains(d))
         .collect();
-    if let Some(r) = replacement {
-        if r != failed && !survivors.contains(&r) {
+    for &r in replacements {
+        if !failed.contains(&r) && !survivors.contains(&r) {
             survivors.push(r);
         }
     }
@@ -57,12 +85,15 @@ pub fn fail_device(
         return Err(CoreError::NoDevices);
     }
     survivors.sort_unstable();
-    trainer.discard_replica(failed);
+    // Every dead replica's memory is gone before anyone donates state.
+    for &f in failed {
+        trainer.discard_replica(f);
+    }
     let plan = trainer.resize(&survivors)?;
     Ok(FaultRecovery {
         plan,
         survivors,
-        replaced: replacement.is_some(),
+        replaced: !replacements.is_empty(),
     })
 }
 
@@ -151,6 +182,68 @@ mod tests {
         let healthy_state = t.replica_stateful(DeviceId(1)).unwrap().clone();
         fail_device(&mut t, DeviceId(0), Some(DeviceId(7))).unwrap();
         assert_eq!(t.replica_stateful(DeviceId(7)).unwrap(), &healthy_state);
+    }
+
+    #[test]
+    fn unknown_device_failure_is_an_error_naming_the_device() {
+        let mut t = trainer(4, 6);
+        t.run_steps(1).unwrap();
+        let before = t.mapping().clone();
+        let err = fail_device(&mut t, DeviceId(77), None).unwrap_err();
+        match err {
+            CoreError::UnknownDevice { device } => assert_eq!(device, DeviceId(77)),
+            other => panic!("expected UnknownDevice, got {other:?}"),
+        }
+        assert!(err.to_string().contains("gpu77"), "{err}");
+        // The trainer is untouched: no replica discarded, no resize.
+        assert_eq!(t.mapping(), &before);
+        t.run_steps(1).unwrap();
+    }
+
+    #[test]
+    fn unknown_device_in_a_batch_rejects_the_whole_batch() {
+        let mut t = trainer(4, 7);
+        let err = fail_devices(&mut t, &[DeviceId(1), DeviceId(50)], &[]).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownDevice { device } if device == DeviceId(50)));
+        assert_eq!(t.mapping().num_devices(), 4, "no partial failure applied");
+        assert!(t.replica_stateful(DeviceId(1)).is_some());
+    }
+
+    #[test]
+    fn correlated_failure_takes_out_several_devices_at_once() {
+        let mut t = trainer(4, 8);
+        t.run_steps(2).unwrap();
+        let r = fail_devices(&mut t, &[DeviceId(0), DeviceId(1)], &[]).unwrap();
+        assert_eq!(r.survivors, vec![DeviceId(2), DeviceId(3)]);
+        assert_eq!(t.mapping().total_vns(), 8);
+        assert!(t.mapping().is_valid());
+        t.run_steps(1).unwrap();
+    }
+
+    #[test]
+    fn correlated_failure_of_everyone_is_unrecoverable_without_replacements() {
+        let mut t = trainer(2, 9);
+        let all = [DeviceId(0), DeviceId(1)];
+        assert!(matches!(
+            fail_devices(&mut t, &all, &[]).unwrap_err(),
+            CoreError::NoDevices
+        ));
+        // With replacements the whole fleet swaps out in one migration.
+        let r = fail_devices(&mut t, &all, &[DeviceId(10), DeviceId(11)]).unwrap();
+        assert_eq!(r.survivors, vec![DeviceId(10), DeviceId(11)]);
+        t.run_steps(1).unwrap();
+    }
+
+    #[test]
+    fn correlated_failure_preserves_the_trajectory() {
+        let mut healthy = trainer(4, 10);
+        let mut faulty = trainer(4, 10);
+        healthy.run_steps(2).unwrap();
+        faulty.run_steps(2).unwrap();
+        fail_devices(&mut faulty, &[DeviceId(1), DeviceId(3)], &[DeviceId(8)]).unwrap();
+        healthy.run_steps(3).unwrap();
+        faulty.run_steps(3).unwrap();
+        assert_eq!(healthy.params(), faulty.params());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! * [`perf_model`] / [`memory_model`] — simulated step time and memory.
 //! * [`hetero`] — proportional VN packing over mixed device types (§7).
 //! * [`fault`] — failure recovery by VN reassignment (§7).
+//! * [`chaos`] — a supervisor that survives continuous fault injection.
 //! * [`modelpar`] — model-parallel partitioning by virtual node (§7).
 //!
 //! ## Example
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod autoscale;
+pub mod chaos;
 pub mod checkpoint;
 pub mod diagnostics;
 mod config;
@@ -56,6 +58,7 @@ pub mod modelpar;
 pub mod perf_model;
 pub mod vnode;
 
+pub use chaos::{ChaosConfig, ChaosOutcome, ChaosReport, ChaosSupervisor};
 pub use checkpoint::Checkpoint;
 pub use config::{OptimizerConfig, TrainerConfig};
 pub use engine::{StepReport, Trainer};

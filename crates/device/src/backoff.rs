@@ -1,0 +1,119 @@
+//! Deterministic exponential backoff.
+//!
+//! Recovery machinery across the stack (the chaos supervisor's retry loop,
+//! the scheduler's device cooldowns, job requeues) needs the same shape of
+//! policy: delays that grow geometrically with consecutive failures and
+//! saturate at a cap. Keeping it here — next to [`crate::SimClock`] — lets
+//! every layer charge identical, reproducible costs to simulated time.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponential backoff policy: `base_s * factor^attempt`, capped.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in seconds.
+    pub base_s: f64,
+    /// Multiplier applied per consecutive failure (≥ 1).
+    pub factor: f64,
+    /// Upper bound on any single delay, in seconds.
+    pub max_s: f64,
+}
+
+impl BackoffPolicy {
+    /// A policy with the given base, factor, and cap. Degenerate values are
+    /// clamped: the base is at least 0, the factor at least 1, and the cap
+    /// at least the base.
+    pub fn new(base_s: f64, factor: f64, max_s: f64) -> Self {
+        let base_s = if base_s.is_finite() { base_s.max(0.0) } else { 0.0 };
+        let factor = if factor.is_finite() { factor.max(1.0) } else { 1.0 };
+        let max_s = if max_s.is_finite() { max_s.max(base_s) } else { f64::MAX };
+        BackoffPolicy { base_s, factor, max_s }
+    }
+
+    /// The delay for the `attempt`-th consecutive failure (0-based).
+    pub fn delay_s(&self, attempt: u32) -> f64 {
+        (self.base_s * self.factor.powi(attempt.min(64) as i32)).min(self.max_s)
+    }
+}
+
+impl Default for BackoffPolicy {
+    /// 1 s base, doubling, capped at 60 s.
+    fn default() -> Self {
+        BackoffPolicy::new(1.0, 2.0, 60.0)
+    }
+}
+
+/// A stateful counter over a [`BackoffPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Backoff {
+    policy: BackoffPolicy,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A fresh backoff at attempt zero.
+    pub fn new(policy: BackoffPolicy) -> Self {
+        Backoff { policy, attempt: 0 }
+    }
+
+    /// The delay to wait now, advancing the attempt counter.
+    pub fn next_delay_s(&mut self) -> f64 {
+        let d = self.policy.delay_s(self.attempt);
+        self.attempt = self.attempt.saturating_add(1);
+        d
+    }
+
+    /// Consecutive failures recorded so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Resets the counter after a success.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let p = BackoffPolicy::new(1.0, 2.0, 10.0);
+        let mut b = Backoff::new(p);
+        assert_eq!(b.next_delay_s(), 1.0);
+        assert_eq!(b.next_delay_s(), 2.0);
+        assert_eq!(b.next_delay_s(), 4.0);
+        assert_eq!(b.next_delay_s(), 8.0);
+        assert_eq!(b.next_delay_s(), 10.0, "capped");
+        assert_eq!(b.next_delay_s(), 10.0, "stays capped");
+        assert_eq!(b.attempts(), 6);
+    }
+
+    #[test]
+    fn reset_restarts_the_sequence() {
+        let mut b = Backoff::new(BackoffPolicy::default());
+        b.next_delay_s();
+        b.next_delay_s();
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert_eq!(b.next_delay_s(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_policies_are_clamped() {
+        let p = BackoffPolicy::new(-5.0, 0.1, -1.0);
+        assert_eq!(p.base_s, 0.0);
+        assert_eq!(p.factor, 1.0);
+        assert!(p.max_s >= 0.0);
+        let p = BackoffPolicy::new(f64::NAN, f64::INFINITY, f64::NAN);
+        assert!(p.delay_s(10).is_finite());
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let p = BackoffPolicy::new(1.0, 2.0, 30.0);
+        assert_eq!(p.delay_s(u32::MAX), 30.0);
+    }
+}

@@ -3,18 +3,62 @@
 //! The fault-tolerance extension (paper §7) needs a source of failures to
 //! exercise: [`FailureModel`] draws exponentially distributed failure times
 //! per device from a seed, so failure-injection experiments are exactly
-//! reproducible.
+//! reproducible. Draws are *recurring*: a device that failed, was repaired,
+//! and rejoined the fleet keeps drawing fresh failure times from the same
+//! stream, which is what long chaos runs need.
 
 use crate::profile::DeviceId;
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A rejected [`FailureModel`] configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureModelError {
+    /// The mean time between failures was not a positive, finite number.
+    InvalidMtbf {
+        /// The offending value.
+        mtbf_s: f64,
+    },
+}
+
+impl fmt::Display for FailureModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureModelError::InvalidMtbf { mtbf_s } => write!(
+                f,
+                "mean time between failures must be positive and finite, got {mtbf_s}"
+            ),
+        }
+    }
+}
+
+impl Error for FailureModelError {}
+
+/// SplitMix64: one deterministic, well-mixed 64-bit output per input.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `(0, 1]` from a mixed 64-bit state.
+pub(crate) fn unit_open(z: u64) -> f64 {
+    ((mix64(z) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
 
 /// A memoryless (exponential) failure process per device.
+///
+/// The fields are private so every live model went through the validation
+/// in [`FailureModel::new`]; `mtbf_s <= 0`, NaN, and infinities are rejected
+/// at construction instead of silently producing garbage failure times.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FailureModel {
     /// Mean time between failures per device, in seconds.
-    pub mtbf_s: f64,
+    mtbf_s: f64,
     /// Seed for the failure draws.
-    pub seed: u64,
+    seed: u64,
 }
 
 /// One scheduled failure event.
@@ -28,27 +72,65 @@ pub struct FailureEvent {
 
 impl FailureModel {
     /// Creates a model with the given mean time between failures.
-    pub fn new(mtbf_s: f64, seed: u64) -> Self {
-        FailureModel { mtbf_s, seed }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FailureModelError::InvalidMtbf`] unless `mtbf_s` is
+    /// positive and finite.
+    pub fn new(mtbf_s: f64, seed: u64) -> Result<Self, FailureModelError> {
+        if !mtbf_s.is_finite() || mtbf_s <= 0.0 {
+            return Err(FailureModelError::InvalidMtbf { mtbf_s });
+        }
+        Ok(FailureModel { mtbf_s, seed })
+    }
+
+    /// The mean time between failures, in seconds.
+    pub fn mtbf_s(&self) -> f64 {
+        self.mtbf_s
+    }
+
+    /// The seed of the failure stream.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The `k`-th inter-failure gap of `device` (exponential with mean
+    /// `mtbf_s`), a pure function of `(seed, device, k)`.
+    fn gap_s(&self, device: DeviceId, k: u64) -> f64 {
+        let state = self
+            .seed
+            .wrapping_add(u64::from(device.0).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(k.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        -self.mtbf_s * unit_open(state).ln()
     }
 
     /// The first failure time of `device` (exponential with mean `mtbf_s`),
     /// a pure function of `(seed, device)`.
     pub fn first_failure_s(&self, device: DeviceId) -> f64 {
-        // SplitMix64 on (seed, device) → uniform in (0,1) → exponential.
-        let mut z = self
-            .seed
-            .wrapping_add(u64::from(device.0).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            .wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        let u = ((z >> 11) as f64 + 1.0) / (1u64 << 53) as f64; // (0, 1]
-        -self.mtbf_s * u.ln()
+        self.gap_s(device, 0)
     }
 
-    /// All failures among `devices` occurring before `horizon_s`, sorted by
-    /// time.
+    /// All recurring failure times of `device` strictly before `horizon_s`,
+    /// in increasing order: the device fails, is repaired instantly (repair
+    /// delays are the caller's concern), and keeps failing.
+    pub fn failure_times_before(&self, device: DeviceId, horizon_s: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        for k in 0u64.. {
+            t += self.gap_s(device, k);
+            // `>=` would loop forever on a NaN horizon; an explicit
+            // "not strictly before" check terminates on anything else.
+            if t.partial_cmp(&horizon_s) != Some(std::cmp::Ordering::Less) {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    /// The *first* failure among `devices` occurring before `horizon_s`,
+    /// sorted by time. See [`FailureModel::all_failures_before`] for the
+    /// recurring stream.
     pub fn failures_before(&self, devices: &[DeviceId], horizon_s: f64) -> Vec<FailureEvent> {
         let mut events: Vec<FailureEvent> = devices
             .iter()
@@ -58,12 +140,22 @@ impl FailureModel {
             })
             .filter(|e| e.at_s < horizon_s)
             .collect();
-        events.sort_by(|a, b| {
-            a.at_s
-                .partial_cmp(&b.at_s)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.device.cmp(&b.device))
-        });
+        sort_events(&mut events);
+        events
+    }
+
+    /// Every recurring failure among `devices` before `horizon_s`, sorted
+    /// by time — the stream a long chaos run injects from.
+    pub fn all_failures_before(&self, devices: &[DeviceId], horizon_s: f64) -> Vec<FailureEvent> {
+        let mut events: Vec<FailureEvent> = devices
+            .iter()
+            .flat_map(|&d| {
+                self.failure_times_before(d, horizon_s)
+                    .into_iter()
+                    .map(move |at_s| FailureEvent { device: d, at_s })
+            })
+            .collect();
+        sort_events(&mut events);
         events
     }
 
@@ -71,6 +163,15 @@ impl FailureModel {
     pub fn survival_probability(&self, t_s: f64) -> f64 {
         (-t_s / self.mtbf_s).exp()
     }
+}
+
+fn sort_events(events: &mut [FailureEvent]) {
+    events.sort_by(|a, b| {
+        a.at_s
+            .partial_cmp(&b.at_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.device.cmp(&b.device))
+    });
 }
 
 #[cfg(test)]
@@ -83,44 +184,89 @@ mod tests {
 
     #[test]
     fn failure_times_are_deterministic() {
-        let m = FailureModel::new(1000.0, 7);
+        let m = FailureModel::new(1000.0, 7).unwrap();
         assert_eq!(m.first_failure_s(DeviceId(3)), m.first_failure_s(DeviceId(3)));
         assert_ne!(m.first_failure_s(DeviceId(3)), m.first_failure_s(DeviceId(4)));
-        let other = FailureModel::new(1000.0, 8);
+        let other = FailureModel::new(1000.0, 8).unwrap();
         assert_ne!(m.first_failure_s(DeviceId(3)), other.first_failure_s(DeviceId(3)));
     }
 
     #[test]
+    fn degenerate_mtbf_is_rejected_at_construction() {
+        for bad in [0.0, -1.0, -1e9, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = FailureModel::new(bad, 0).unwrap_err();
+            assert!(
+                matches!(err, FailureModelError::InvalidMtbf { .. }),
+                "{bad} must be rejected"
+            );
+            // The error names the offending value (NaN compares unequal).
+            let shown = err.to_string();
+            assert!(shown.contains("positive and finite"), "{shown}");
+        }
+    }
+
+    #[test]
+    fn valid_mtbf_is_accepted_and_draws_are_finite_positive() {
+        for mtbf in [1e-6, 1.0, 1e12] {
+            let m = FailureModel::new(mtbf, 42).unwrap();
+            assert_eq!(m.mtbf_s(), mtbf);
+            let t = m.first_failure_s(DeviceId(0));
+            assert!(t.is_finite() && t > 0.0, "mtbf {mtbf} drew {t}");
+        }
+    }
+
+    #[test]
     fn failure_times_have_the_right_mean() {
-        let m = FailureModel::new(500.0, 1);
+        let m = FailureModel::new(500.0, 1).unwrap();
         let n = 20_000u32;
         let mean: f64 = devices(n)
             .iter()
             .map(|&d| m.first_failure_s(d))
             .sum::<f64>()
-            / n as f64;
+            / f64::from(n);
         assert!((mean - 500.0).abs() < 20.0, "mean {mean}");
     }
 
     #[test]
+    fn recurring_draws_have_the_right_mean_gap() {
+        let m = FailureModel::new(50.0, 3).unwrap();
+        let times = m.failure_times_before(DeviceId(0), 100_000.0);
+        assert!(times.len() > 1_000, "{} draws", times.len());
+        let mean_gap = times.last().unwrap() / times.len() as f64;
+        assert!((mean_gap - 50.0).abs() < 5.0, "mean gap {mean_gap}");
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn recurring_stream_extends_the_first_failure() {
+        let m = FailureModel::new(100.0, 9).unwrap();
+        let first = m.first_failure_s(DeviceId(4));
+        let all = m.failure_times_before(DeviceId(4), first * 10.0);
+        assert_eq!(all[0], first);
+        assert!(all.len() > 1, "recurring draws continue past the first");
+    }
+
+    #[test]
     fn failures_before_horizon_are_sorted_and_filtered() {
-        let m = FailureModel::new(100.0, 2);
+        let m = FailureModel::new(100.0, 2).unwrap();
         let events = m.failures_before(&devices(64), 50.0);
         assert!(!events.is_empty());
         assert!(events.iter().all(|e| e.at_s < 50.0));
         assert!(events.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+        let recurring = m.all_failures_before(&devices(64), 50.0);
+        assert!(recurring.len() >= events.len());
     }
 
     #[test]
     fn long_mtbf_rarely_fails_early() {
-        let m = FailureModel::new(1e9, 3);
+        let m = FailureModel::new(1e9, 3).unwrap();
         assert!(m.failures_before(&devices(16), 60.0).is_empty());
         assert!(m.survival_probability(60.0) > 0.999_999);
     }
 
     #[test]
     fn survival_decays_exponentially() {
-        let m = FailureModel::new(100.0, 0);
+        let m = FailureModel::new(100.0, 0).unwrap();
         assert!((m.survival_probability(100.0) - (-1.0f64).exp()).abs() < 1e-12);
         assert!(m.survival_probability(0.0) == 1.0);
     }

@@ -26,13 +26,17 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 mod clock;
 pub mod cost;
 pub mod failure;
+pub mod fault_plan;
 pub mod memory;
 mod profile;
 
+pub use backoff::{Backoff, BackoffPolicy};
 pub use clock::SimClock;
-pub use failure::{FailureEvent, FailureModel};
+pub use failure::{FailureEvent, FailureModel, FailureModelError};
+pub use fault_plan::{FaultKind, FaultPlan, PlannedFault, RackModel, SpotModel};
 pub use memory::{MemoryCategory, MemorySnapshot, MemoryTracker, OomError};
 pub use profile::{homogeneous_cluster, Device, DeviceId, DeviceProfile, DeviceType, GIB};

@@ -66,7 +66,7 @@ proptest! {
     /// support.
     #[test]
     fn failure_model_is_pure_and_positive(seed in any::<u64>(), dev in 0u32..1000, mtbf in 1.0f64..1e6) {
-        let m = FailureModel::new(mtbf, seed);
+        let m = FailureModel::new(mtbf, seed).expect("positive finite mtbf");
         let a = m.first_failure_s(DeviceId(dev));
         let b = m.first_failure_s(DeviceId(dev));
         prop_assert_eq!(a, b);
@@ -77,7 +77,7 @@ proptest! {
     /// Survival probability is a proper decreasing function of time.
     #[test]
     fn survival_is_monotone_decreasing(t1 in 0.0f64..1e5, dt in 1.0f64..1e5) {
-        let m = FailureModel::new(1000.0, 0);
+        let m = FailureModel::new(1000.0, 0).expect("positive finite mtbf");
         prop_assert!(m.survival_probability(t1 + dt) < m.survival_probability(t1));
         prop_assert!(m.survival_probability(t1) <= 1.0);
         prop_assert!(m.survival_probability(t1 + dt) > 0.0);

@@ -1,0 +1,242 @@
+//! A recycling device pool for the scheduler.
+//!
+//! Devices the chaos layer reports as failed or preempted do not vanish
+//! from the cluster: they go through repair (or the spot market) and come
+//! back. The [`DevicePool`] tracks that life cycle — **free** → **leased**
+//! → (failure) → **cooling** → free — so a scheduler can hand devices to
+//! jobs, take failure reports, and reuse repaired hardware instead of
+//! shrinking forever.
+//!
+//! Repeated failures of the same device escalate its cooldown through a
+//! [`BackoffPolicy`](vf_device::BackoffPolicy): a machine that keeps dying
+//! is quarantined for longer each time, while a clean release resets its
+//! record.
+
+use std::collections::{BTreeMap, BTreeSet};
+use vf_device::{BackoffPolicy, DeviceId};
+
+/// Where a device currently is in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceState {
+    /// Healthy and unassigned.
+    Free,
+    /// Handed to a job.
+    Leased,
+    /// In repair after a failure; returns at a known time.
+    Cooling,
+}
+
+/// A pool of devices cycling through free / leased / cooling states.
+///
+/// # Examples
+///
+/// ```
+/// use vf_device::{BackoffPolicy, DeviceId};
+/// use vf_sched::pool::DevicePool;
+///
+/// let mut pool = DevicePool::new((0..4).map(DeviceId), BackoffPolicy::default());
+/// let leased = pool.acquire(2, 0.0);
+/// assert_eq!(leased.len(), 2);
+/// pool.fail(leased[0], 0.0);          // crashed: goes into repair
+/// assert_eq!(pool.available(0.0), 2); // the two never leased
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DevicePool {
+    free: BTreeSet<DeviceId>,
+    leased: BTreeSet<DeviceId>,
+    /// Device → simulated time its repair completes.
+    cooling: BTreeMap<DeviceId, f64>,
+    /// Consecutive failures since the device last completed a clean lease.
+    strikes: BTreeMap<DeviceId, u32>,
+    policy: BackoffPolicy,
+}
+
+impl DevicePool {
+    /// A pool with every device free.
+    pub fn new(devices: impl IntoIterator<Item = DeviceId>, policy: BackoffPolicy) -> Self {
+        DevicePool {
+            free: devices.into_iter().collect(),
+            leased: BTreeSet::new(),
+            cooling: BTreeMap::new(),
+            strikes: BTreeMap::new(),
+            policy,
+        }
+    }
+
+    /// Total devices tracked, in any state.
+    pub fn len(&self) -> usize {
+        self.free.len() + self.leased.len() + self.cooling.len()
+    }
+
+    /// Whether the pool tracks no devices at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The state of `device`, if the pool tracks it.
+    pub fn state_of(&self, device: DeviceId) -> Option<DeviceState> {
+        if self.free.contains(&device) {
+            Some(DeviceState::Free)
+        } else if self.leased.contains(&device) {
+            Some(DeviceState::Leased)
+        } else if self.cooling.contains_key(&device) {
+            Some(DeviceState::Cooling)
+        } else {
+            None
+        }
+    }
+
+    /// Moves every device whose repair finished by `now_s` back to free.
+    fn promote_cooled(&mut self, now_s: f64) {
+        let ready: Vec<DeviceId> = self
+            .cooling
+            .iter()
+            .filter(|(_, &t)| t <= now_s)
+            .map(|(&d, _)| d)
+            .collect();
+        for d in ready {
+            self.cooling.remove(&d);
+            self.free.insert(d);
+        }
+    }
+
+    /// Leases up to `n` devices (lowest ids first), counting repaired
+    /// devices whose cooldown has expired by `now_s`.
+    pub fn acquire(&mut self, n: usize, now_s: f64) -> Vec<DeviceId> {
+        self.promote_cooled(now_s);
+        let taken: Vec<DeviceId> = self.free.iter().copied().take(n).collect();
+        for &d in &taken {
+            self.free.remove(&d);
+            self.leased.insert(d);
+        }
+        taken
+    }
+
+    /// Returns a leased device healthy: it becomes free immediately and its
+    /// failure record is cleared. Returns whether the device was leased.
+    pub fn release(&mut self, device: DeviceId) -> bool {
+        if self.leased.remove(&device) {
+            self.strikes.remove(&device);
+            self.free.insert(device);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reports a failure (crash or preemption) of a leased or free device.
+    /// The device goes into repair; the cooldown escalates with its
+    /// consecutive-failure count under the pool's backoff policy. Returns
+    /// the repair time in seconds, or `None` if the device is unknown or
+    /// already cooling.
+    pub fn fail(&mut self, device: DeviceId, now_s: f64) -> Option<f64> {
+        if !self.leased.remove(&device) && !self.free.remove(&device) {
+            return None;
+        }
+        let strikes = self.strikes.entry(device).or_insert(0);
+        let cooldown = self.policy.delay_s(*strikes);
+        *strikes += 1;
+        self.cooling.insert(device, now_s + cooldown);
+        Some(cooldown)
+    }
+
+    /// Devices that could be leased at `now_s` (free plus repaired).
+    pub fn available(&self, now_s: f64) -> usize {
+        self.free.len() + self.cooling.values().filter(|&&t| t <= now_s).count()
+    }
+
+    /// The earliest time a cooling device becomes available, if any.
+    pub fn next_ready_s(&self) -> Option<f64> {
+        self.cooling
+            .values()
+            .copied()
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: u32) -> DevicePool {
+        DevicePool::new((0..n).map(DeviceId), BackoffPolicy::new(10.0, 2.0, 1000.0))
+    }
+
+    #[test]
+    fn acquire_leases_lowest_ids_first() {
+        let mut p = pool(4);
+        assert_eq!(p.acquire(2, 0.0), vec![DeviceId(0), DeviceId(1)]);
+        assert_eq!(p.state_of(DeviceId(0)), Some(DeviceState::Leased));
+        assert_eq!(p.available(0.0), 2);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn acquire_never_over_leases() {
+        let mut p = pool(2);
+        assert_eq!(p.acquire(5, 0.0).len(), 2);
+        assert!(p.acquire(1, 0.0).is_empty());
+    }
+
+    #[test]
+    fn release_returns_devices_for_reuse() {
+        let mut p = pool(2);
+        let d = p.acquire(1, 0.0)[0];
+        assert!(p.release(d));
+        assert_eq!(p.state_of(d), Some(DeviceState::Free));
+        assert!(!p.release(d), "double release is rejected");
+    }
+
+    #[test]
+    fn failed_devices_cool_down_then_return() {
+        let mut p = pool(2);
+        let d = p.acquire(1, 0.0)[0];
+        let cooldown = p.fail(d, 100.0).unwrap();
+        assert_eq!(cooldown, 10.0);
+        assert_eq!(p.state_of(d), Some(DeviceState::Cooling));
+        assert_eq!(p.available(100.0), 1, "only the never-leased device");
+        assert_eq!(p.next_ready_s(), Some(110.0));
+        // After the cooldown it is acquirable again.
+        assert_eq!(p.acquire(2, 110.0).len(), 2);
+    }
+
+    #[test]
+    fn repeat_offenders_cool_down_longer() {
+        let mut p = pool(1);
+        let d = DeviceId(0);
+        p.acquire(1, 0.0);
+        assert_eq!(p.fail(d, 0.0), Some(10.0));
+        p.acquire(1, 10.0);
+        assert_eq!(p.fail(d, 10.0), Some(20.0), "second strike doubles");
+        p.acquire(1, 30.0);
+        assert_eq!(p.fail(d, 30.0), Some(40.0), "third strike doubles again");
+    }
+
+    #[test]
+    fn clean_release_resets_the_failure_record() {
+        let mut p = pool(1);
+        let d = DeviceId(0);
+        p.acquire(1, 0.0);
+        p.fail(d, 0.0);
+        p.acquire(1, 10.0);
+        p.release(d);
+        p.acquire(1, 10.0);
+        assert_eq!(p.fail(d, 10.0), Some(10.0), "record cleared by release");
+    }
+
+    #[test]
+    fn unknown_and_cooling_devices_cannot_fail() {
+        let mut p = pool(1);
+        assert_eq!(p.fail(DeviceId(99), 0.0), None);
+        p.fail(DeviceId(0), 0.0);
+        assert_eq!(p.fail(DeviceId(0), 0.0), None, "already cooling");
+    }
+
+    #[test]
+    fn free_devices_can_fail_too() {
+        // A fault can strike an idle machine; it must still go to repair.
+        let mut p = pool(2);
+        assert!(p.fail(DeviceId(1), 0.0).is_some());
+        assert_eq!(p.acquire(2, 0.0), vec![DeviceId(0)]);
+    }
+}

@@ -11,7 +11,7 @@ use crate::scheduler::Scheduler;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vf_comm::LinkProfile;
-use vf_device::{DeviceProfile, DeviceType};
+use vf_device::{DeviceId, DeviceProfile, DeviceType, FaultPlan};
 
 /// Configuration of a cluster simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,6 +48,55 @@ pub struct CapacityEvent {
     pub at_s: f64,
     /// New cluster capacity in GPUs.
     pub num_gpus: u32,
+}
+
+/// Translates a seeded [`FaultPlan`] into the capacity timeline the
+/// simulator understands: each fault takes its devices down at its fault
+/// time, and each device returns to service `outage_s` seconds later.
+///
+/// Devices are `DeviceId(0..num_gpus)`. A fault striking a device already
+/// in repair is absorbed by the ongoing repair (no extension). The
+/// resulting events let [`run_trace`] subject any scheduler to the same
+/// reproducible fault stream the chaos supervisor uses: elastic jobs
+/// downsize through the dips, non-elastic ones are evicted and requeued,
+/// and either way jobs wait for repaired capacity instead of dying.
+pub fn capacity_events_from_faults(
+    plan: &FaultPlan,
+    num_gpus: u32,
+    horizon_s: f64,
+    outage_s: f64,
+) -> Vec<CapacityEvent> {
+    let devices: Vec<DeviceId> = (0..num_gpus).map(DeviceId).collect();
+    let mut faults = plan.events(&devices, horizon_s);
+    faults.sort_by(|a, b| {
+        a.at_s.partial_cmp(&b.at_s).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Per-device merged outage windows → a stream of ±1 capacity deltas.
+    let mut deltas: Vec<(f64, i64)> = Vec::new();
+    let mut down_until: BTreeMap<DeviceId, f64> = BTreeMap::new();
+    for fault in &faults {
+        for &d in &fault.devices {
+            let until = down_until.get(&d).copied().unwrap_or(f64::NEG_INFINITY);
+            if fault.at_s >= until {
+                deltas.push((fault.at_s, -1));
+                deltas.push((fault.at_s + outage_s, 1));
+                down_until.insert(d, fault.at_s + outage_s);
+            }
+        }
+    }
+    deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut events: Vec<CapacityEvent> = Vec::new();
+    let mut healthy = num_gpus as i64;
+    for (at_s, delta) in deltas {
+        healthy += delta;
+        let capacity = healthy.clamp(0, num_gpus as i64) as u32;
+        match events.last_mut() {
+            // Coalesce simultaneous deltas into one event.
+            Some(last) if last.at_s == at_s => last.num_gpus = capacity,
+            _ => events.push(CapacityEvent { at_s, num_gpus: capacity }),
+        }
+    }
+    events
 }
 
 impl SimConfig {
@@ -151,7 +200,13 @@ pub fn run_trace(
             (Some(a), Some((_, c))) => a.min(c),
             (Some(a), None) => a,
             (None, Some((_, c))) => c,
-            (None, None) => break,
+            // Nothing is running or arriving — but if jobs are queued and
+            // capacity is scheduled to change, wait for it: a total outage
+            // pauses the cluster, it does not kill the queued jobs.
+            (None, None) => match next_capacity {
+                Some(t) if !active.is_empty() => t,
+                _ => break,
+            },
         };
         let event_time = match next_timer {
             Some(t) => event_time.min(t),
@@ -228,6 +283,9 @@ pub fn run_trace(
         });
     }
 
+    // Jobs still queued when the simulation ends (e.g. capacity never
+    // returned) are reported unfinished rather than silently dropped.
+    done.extend(active.into_values());
     let metrics = TraceMetrics::compute(&done, config.num_gpus, first_arrival, now, busy_integral);
     done.sort_by_key(|j| j.spec.id);
     SimResult {
@@ -380,6 +438,76 @@ mod tests {
         for s in &r.timeline {
             assert!(s.allocations.values().sum::<u32>() <= 4);
         }
+    }
+
+    #[test]
+    fn fault_driven_capacity_dips_requeue_jobs_instead_of_killing_them() {
+        use vf_device::FailureModel;
+        let plan = FaultPlan::new(11).with_crashes(FailureModel::new(900.0, 11).unwrap());
+        let events = capacity_events_from_faults(&plan, 4, 50_000.0, 200.0);
+        assert!(!events.is_empty(), "the plan must actually produce faults");
+        assert!(
+            events.iter().any(|e| e.num_gpus < 4),
+            "some fault must reduce capacity"
+        );
+        let mut c = config();
+        c.capacity_events = events;
+        let trace: Vec<JobSpec> = (0..4)
+            .map(|i| spec(i, 1 + i, 2, 400, 10.0 * i as f64))
+            .collect();
+        for sched in [&mut ElasticWfs::new() as &mut dyn Scheduler, &mut StaticPriority::new()] {
+            let r = run_trace(&trace, sched, &c);
+            assert_eq!(r.jobs.len(), 4, "{}: no job may be lost", r.scheduler);
+            assert!(
+                r.jobs.iter().all(|j| j.is_finished()),
+                "{}: every job finishes despite the faults",
+                r.scheduler
+            );
+        }
+    }
+
+    #[test]
+    fn fault_capacity_events_are_deterministic_and_bounded() {
+        use vf_device::{FailureModel, RackModel};
+        let plan = FaultPlan::new(3)
+            .with_crashes(FailureModel::new(500.0, 3).unwrap())
+            .with_racks(RackModel::new(2, 2000.0).unwrap());
+        let a = capacity_events_from_faults(&plan, 8, 20_000.0, 300.0);
+        let b = capacity_events_from_faults(&plan, 8, 20_000.0, 300.0);
+        assert_eq!(a, b);
+        for e in &a {
+            assert!(e.num_gpus <= 8);
+        }
+        // Every outage ends: the final event restores full capacity.
+        assert_eq!(a.last().unwrap().num_gpus, 8);
+    }
+
+    #[test]
+    fn total_outage_pauses_the_cluster_rather_than_killing_the_job() {
+        let mut c = config();
+        c.capacity_events = vec![
+            CapacityEvent { at_s: 5.0, num_gpus: 0 },
+            CapacityEvent { at_s: 5_000.0, num_gpus: 4 },
+        ];
+        let trace = vec![spec(0, 5, 2, 2000, 0.0)];
+        let r = run_trace(&trace, &mut ElasticWfs::new(), &c);
+        assert_eq!(r.jobs.len(), 1);
+        assert!(r.jobs[0].is_finished());
+        assert!(
+            r.jobs[0].finished_at_s.unwrap() > 5_000.0,
+            "the job waited out the outage and resumed"
+        );
+    }
+
+    #[test]
+    fn permanent_outage_reports_the_job_unfinished_instead_of_dropping_it() {
+        let mut c = config();
+        c.capacity_events = vec![CapacityEvent { at_s: 5.0, num_gpus: 0 }];
+        let trace = vec![spec(0, 5, 2, 100_000, 0.0)];
+        let r = run_trace(&trace, &mut ElasticWfs::new(), &c);
+        assert_eq!(r.jobs.len(), 1, "the stuck job still appears in results");
+        assert!(!r.jobs[0].is_finished());
+        assert!(r.jobs[0].finished_at_s.is_none());
     }
 
     #[test]

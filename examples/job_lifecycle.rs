@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("restarted on a fresh 4-GPU cluster (ids 100..104)");
 
     // 4. Failure injection: an aggressive MTBF so something actually dies.
-    let failures = FailureModel::new(400.0, 9)
+    let failures = FailureModel::new(400.0, 9)?
         .failures_before(&new_cluster, 1_000.0);
     println!("failure model schedules {} failure(s) in the window", failures.len());
     let mut clock = SimClock::new();

@@ -13,4 +13,7 @@ cargo test -q
 echo "== tier 1: clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== tier 1: chaos smoke (fixed seed, bit-exact under faults) =="
+cargo run --release -q -p vf-bench --bin chaos_bench -- --smoke
+
 echo "tier 1 OK"

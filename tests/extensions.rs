@@ -150,7 +150,9 @@ fn failure_model_drives_fault_recovery_end_to_end() {
     let mut reference = Trainer::new(arch.clone(), data.clone(), config.clone(), &devices(1)).unwrap();
     let mut job = Trainer::new(arch, data, config, &cluster).unwrap();
     // An MTBF low enough that several devices fail inside the horizon.
-    let failures = FailureModel::new(200.0, 4).failures_before(&cluster, 500.0);
+    let failures = FailureModel::new(200.0, 4)
+        .expect("valid mtbf")
+        .failures_before(&cluster, 500.0);
     assert!(!failures.is_empty(), "calibrate the MTBF so the test bites");
     for event in failures.iter().take(3) {
         if job.mapping().devices().contains(&event.device) && job.mapping().num_devices() > 1 {
