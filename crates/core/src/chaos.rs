@@ -324,11 +324,14 @@ impl ChaosSupervisor {
 
     /// Fires every fault whose notice time has passed.
     fn fire_due_events(&mut self) -> Result<(), CoreError> {
-        while let Some(next) = self.events.front() {
-            if next.notice_at_s > self.clock.now() {
-                break;
+        loop {
+            match self.events.front() {
+                Some(next) if next.notice_at_s <= self.clock.now() => {}
+                _ => break,
             }
-            let event = self.events.pop_front().expect("peeked");
+            let Some(event) = self.events.pop_front() else {
+                break;
+            };
             match event.kind {
                 FaultKind::Crash => {
                     let victims = self.active_victims(&event.devices);

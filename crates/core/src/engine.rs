@@ -301,8 +301,12 @@ impl Trainer {
         // the ordering that makes results independent of the mapping.
         let vn_grads: Vec<Vec<Tensor>> = vn_grads
             .into_iter()
-            .map(|g| g.expect("every VN is mapped to exactly one device"))
-            .collect();
+            .map(|g| {
+                g.ok_or(CoreError::Internal {
+                    invariant: "every VN is mapped to exactly one device",
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let num_params = self.params.len();
         let mut reduced = Vec::with_capacity(num_params);
         for p in 0..num_params {
@@ -342,7 +346,9 @@ impl Trainer {
         for _ in 0..n {
             last = Some(self.step()?);
         }
-        Ok(last.expect("n > 0"))
+        last.ok_or(CoreError::Internal {
+            invariant: "run_steps with n > 0 executes at least one step",
+        })
     }
 
     /// Runs exactly one epoch, returning the mean training loss.
@@ -393,7 +399,9 @@ impl Trainer {
                     .iter()
                     .find(|m| m.to == d)
                     .map(|m| m.from)
-                    .expect("a new device always receives at least one VN");
+                    .ok_or(CoreError::Internal {
+                        invariant: "a new device always receives at least one VN",
+                    })?;
                 // Prefer the donating device's state; if it is gone (e.g. it
                 // failed rather than being gracefully released), fetch from
                 // any healthy replica, as §7's fault tolerance prescribes.

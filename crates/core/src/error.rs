@@ -66,6 +66,12 @@ pub enum CoreError {
         /// Consecutive failed attempts.
         attempts: u32,
     },
+    /// An internal invariant was violated — a bug in the engine itself,
+    /// not in the caller's configuration.
+    Internal {
+        /// The invariant that failed to hold.
+        invariant: &'static str,
+    },
     /// A tensor operation failed.
     Tensor(TensorError),
     /// A dataset/pipeline operation failed.
@@ -122,6 +128,9 @@ impl fmt::Display for CoreError {
                 f,
                 "all-reduce failed {attempts} consecutive attempts; worker group is partitioned"
             ),
+            CoreError::Internal { invariant } => {
+                write!(f, "internal invariant violated: {invariant}")
+            }
             CoreError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
             CoreError::Data(e) => write!(f, "data pipeline failed: {e}"),
             CoreError::Model(e) => write!(f, "model execution failed: {e}"),

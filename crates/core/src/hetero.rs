@@ -72,7 +72,9 @@ pub fn proportional_counts(
             .filter(|(_, &c)| c > 1)
             .max_by_key(|(_, &c)| c)
             .map(|(i, _)| i)
-            .expect("total_vns >= devices, so someone has > 1");
+            .ok_or(CoreError::Internal {
+                invariant: "total_vns >= devices, so some device holds more than one VN",
+            })?;
         counts[i] -= 1;
         assigned -= 1;
     }

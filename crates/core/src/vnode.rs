@@ -271,11 +271,13 @@ impl VnMapping {
         let mut displaced_iter = displaced.into_iter();
         for (&dev, quota_vns) in &target_shape.assignments {
             let quota = quota_vns.len();
-            let assigned = new_assignments.get_mut(&dev).expect("inserted above");
+            let assigned = new_assignments.get_mut(&dev).ok_or(CoreError::Internal {
+                invariant: "every target device was seeded in new_assignments",
+            })?;
             while assigned.len() < quota {
-                let (vn, from) = displaced_iter
-                    .next()
-                    .expect("total VN count is conserved, so quotas are fillable");
+                let (vn, from) = displaced_iter.next().ok_or(CoreError::Internal {
+                    invariant: "total VN count is conserved, so quotas are fillable",
+                })?;
                 assigned.push(vn);
                 moves.push(Migration { vn, from, to: dev });
             }

@@ -102,8 +102,7 @@ impl Dataset {
             out.extend_from_slice(&fd[i * d..(i + 1) * d]);
             labels.push(self.labels[i]);
         }
-        let features = Tensor::from_vec(out, [indices.len(), d])
-            .expect("gather constructs a consistent matrix");
+        let features = Tensor::from_vec(out, [indices.len(), d])?;
         Ok((features, labels))
     }
 
@@ -121,15 +120,11 @@ impl Dataset {
             return Err(DataError::EmptyDataset);
         }
         let train = Dataset::new(
-            self.features
-                .slice_rows(0, train_n)
-                .expect("train_n <= n"),
+            self.features.slice_rows(0, train_n)?,
             self.labels[..train_n].to_vec(),
         )?;
         let val = Dataset::new(
-            self.features
-                .slice_rows(train_n, val_n)
-                .expect("val range within n"),
+            self.features.slice_rows(train_n, val_n)?,
             self.labels[train_n..].to_vec(),
         )?;
         Ok((train, val))

@@ -42,6 +42,14 @@ pub enum DataError {
         /// Steps remaining until the next epoch boundary.
         steps_into_epoch: usize,
     },
+    /// A tensor operation inside the pipeline failed.
+    Tensor(vf_tensor::TensorError),
+}
+
+impl From<vf_tensor::TensorError> for DataError {
+    fn from(e: vf_tensor::TensorError) -> Self {
+        DataError::Tensor(e)
+    }
 }
 
 impl fmt::Display for DataError {
@@ -70,6 +78,7 @@ impl fmt::Display for DataError {
                 f,
                 "partitioned pipeline resized {steps_into_epoch} steps into an epoch; exactly-once visitation requires epoch-boundary resizes"
             ),
+            DataError::Tensor(e) => write!(f, "tensor operation in pipeline failed: {e}"),
         }
     }
 }

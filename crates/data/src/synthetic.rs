@@ -88,8 +88,7 @@ impl ClusterTask {
         // Shuffle example order so class labels are not periodic.
         let mut order: Vec<usize> = (0..self.num_examples).collect();
         order.shuffle(&mut rng);
-        let f = Tensor::from_vec(features, [self.num_examples, self.dim])
-            .expect("generated exactly n*d values");
+        let f = Tensor::from_vec(features, [self.num_examples, self.dim])?;
         let mut shuffled = Vec::with_capacity(self.num_examples * self.dim);
         let mut shuffled_labels = Vec::with_capacity(self.num_examples);
         for &i in &order {
@@ -107,8 +106,7 @@ impl ClusterTask {
             }
         }
         Dataset::new(
-            Tensor::from_vec(shuffled, [self.num_examples, self.dim])
-                .expect("same element count"),
+            Tensor::from_vec(shuffled, [self.num_examples, self.dim])?,
             shuffled_labels,
         )
     }
@@ -155,8 +153,8 @@ impl TeacherTask {
             1.0 / (self.hidden as f32).sqrt(),
         );
         let x = init::normal(&mut rng, [self.num_examples, self.dim], 0.0, 1.0);
-        let h = vf_tensor::ops::relu(&vf_tensor::ops::matmul(&x, &w1).expect("dims match"));
-        let logits = vf_tensor::ops::matmul(&h, &w2).expect("dims match");
+        let h = vf_tensor::ops::relu(&vf_tensor::ops::matmul(&x, &w1)?);
+        let logits = vf_tensor::ops::matmul(&h, &w2)?;
         let (n, c) = logits.shape().as_rows_cols();
         // Z-score each logit column before taking the argmax: a raw random
         // teacher is often biased toward one class, which would collapse the
@@ -267,7 +265,7 @@ impl ImageTask {
             }
         }
         Dataset::new(
-            Tensor::from_vec(features, [self.num_examples, d]).expect("exact count"),
+            Tensor::from_vec(features, [self.num_examples, d])?,
             labels,
         )
     }

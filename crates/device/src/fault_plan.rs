@@ -210,6 +210,7 @@ impl FaultPlan {
             // Derive an independent stream so enabling crashes does not
             // reshuffle preemption times.
             let stream = FailureModel::new(spot.mean_between_s, self.seed ^ 0x5157_BEEF_0173_AB01)
+                // vf-lint: allow(panic-ratchet) — SpotModel's constructor already validated mean_between_s > 0
                 .expect("SpotModel validated mean_between_s");
             for e in stream.all_failures_before(devices, horizon_s) {
                 out.push(PlannedFault {
@@ -226,6 +227,7 @@ impl FaultPlan {
             rack_ids.sort_unstable();
             rack_ids.dedup();
             let stream = FailureModel::new(racks.mtbf_s, self.seed ^ 0x7AC6_F001_D00D_CAFE)
+                // vf-lint: allow(panic-ratchet) — RackModel's constructor already validated mtbf_s > 0
                 .expect("RackModel validated mtbf_s");
             for &rack in &rack_ids {
                 for at_s in stream.failure_times_before(DeviceId(rack), horizon_s) {

@@ -1,0 +1,226 @@
+//! The panic-ratchet baseline: `lint-baseline.toml`.
+//!
+//! The baseline records, per file, how many panic-family call sites
+//! (`unwrap()`, `expect()`, `panic!`, `unreachable!`, `todo!`,
+//! `unimplemented!`) live in non-test, non-suppressed library code. The
+//! audit requires the tree to match the baseline *exactly*:
+//!
+//! * a count **above** baseline is a regression and fails;
+//! * a count **below** baseline also fails, with instructions to run
+//!   `--write-baseline` — so every improvement is locked in by commit and
+//!   the checked-in numbers can only trend downward;
+//! * `--write-baseline` itself refuses to raise any entry or add a new
+//!   nonzero one (fix the code or add a reasoned suppression instead),
+//!   unless the baseline file does not exist yet (bootstrap).
+//!
+//! The file is a flat TOML table of `"path" = count` pairs, sorted, with
+//! zero-count files omitted.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::diag::Diagnostic;
+
+/// File name of the checked-in baseline at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.toml";
+
+/// Per-file panic-site counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Workspace-relative path → allowed panic-site count.
+    pub entries: BTreeMap<String, usize>,
+}
+
+/// A baseline line that could not be parsed.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number in the baseline file.
+    pub line: u32,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{BASELINE_FILE}:{}: {}", self.line, self.message)
+    }
+}
+
+impl Baseline {
+    /// Parses the flat `"path" = count` format.
+    pub fn parse(text: &str) -> Result<Baseline, ParseError> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let parsed = line.split_once('=').and_then(|(k, v)| {
+                let path = k.trim().trim_matches('"');
+                let count = v.trim().parse::<usize>().ok()?;
+                (!path.is_empty()).then(|| (path.to_string(), count))
+            });
+            match parsed {
+                Some((path, count)) => {
+                    entries.insert(path, count);
+                }
+                None => {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: format!("expected `\"path\" = count`, found `{raw}`"),
+                    });
+                }
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders the baseline back to its canonical sorted form.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# vf-lint panic-ratchet baseline — counts may only decrease.\n\
+             # Regenerate with `cargo run -p vf-lint -- --write-baseline` after\n\
+             # removing an unwrap/expect/panic from non-test library code.\n",
+        );
+        for (path, count) in &self.entries {
+            out.push_str(&format!("\"{path}\" = {count}\n"));
+        }
+        out
+    }
+
+    /// Builds a baseline from current counts, dropping zero entries.
+    pub fn from_counts(counts: &BTreeMap<String, usize>) -> Baseline {
+        Baseline {
+            entries: counts
+                .iter()
+                .filter(|(_, &c)| c > 0)
+                .map(|(p, &c)| (p.clone(), c))
+                .collect(),
+        }
+    }
+
+    /// Compares current counts against this baseline, producing ratchet
+    /// diagnostics. `sites` supplies the offending locations for messages.
+    pub fn compare(
+        &self,
+        counts: &BTreeMap<String, usize>,
+        sites: &BTreeMap<String, Vec<(u32, String)>>,
+    ) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for (path, &count) in counts {
+            let base = self.entries.get(path).copied().unwrap_or(0);
+            if count > base {
+                let where_ = sites
+                    .get(path)
+                    .map(|s| {
+                        s.iter()
+                            .map(|(l, what)| format!("{what} at line {l}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    })
+                    .unwrap_or_default();
+                diags.push(Diagnostic::error(
+                    "panic-ratchet",
+                    path,
+                    0,
+                    format!(
+                        "{count} panic-family call site(s) in library code, baseline allows \
+                         {base}; convert to typed errors or add a reasoned \
+                         `// vf-lint: allow(panic-ratchet)` ({where_})"
+                    ),
+                ));
+            } else if count < base {
+                diags.push(Diagnostic::error(
+                    "panic-ratchet",
+                    path,
+                    0,
+                    format!(
+                        "{count} panic-family call site(s), baseline still says {base}; \
+                         lock the improvement in with `cargo run -p vf-lint -- --write-baseline`"
+                    ),
+                ));
+            }
+        }
+        for (path, &base) in &self.entries {
+            if !counts.contains_key(path) {
+                diags.push(Diagnostic::error(
+                    "panic-ratchet",
+                    path,
+                    0,
+                    format!(
+                        "baseline entry ({base}) refers to a file that no longer exists; \
+                         regenerate with `--write-baseline`"
+                    ),
+                ));
+            }
+        }
+        diags
+    }
+
+    /// Checks that `new` never raises an entry of `self` and adds no new
+    /// nonzero entries. Returns the offending paths.
+    pub fn increases_in(&self, new: &Baseline) -> Vec<String> {
+        new.entries
+            .iter()
+            .filter(|(path, &count)| count > self.entries.get(*path).copied().unwrap_or(0))
+            .map(|(path, _)| path.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(p, c)| (p.to_string(), *c)).collect()
+    }
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let b = Baseline::from_counts(&counts(&[("a.rs", 2), ("b.rs", 0), ("c.rs", 1)]));
+        let b2 = Baseline::parse(&b.render()).expect("round trip");
+        assert_eq!(b, b2);
+        assert!(!b.entries.contains_key("b.rs"), "zero entries omitted");
+    }
+
+    #[test]
+    fn malformed_baseline_is_rejected() {
+        let err = Baseline::parse("\"a.rs\" = not-a-number\n").expect_err("must fail");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn count_above_baseline_fails() {
+        let b = Baseline::from_counts(&counts(&[("a.rs", 1)]));
+        let sites = BTreeMap::from([("a.rs".to_string(), vec![(3, "unwrap()".to_string())])]);
+        let d = b.compare(&counts(&[("a.rs", 2)]), &sites);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("baseline allows 1"));
+    }
+
+    #[test]
+    fn count_below_baseline_demands_ratchet() {
+        let b = Baseline::from_counts(&counts(&[("a.rs", 3)]));
+        let d = b.compare(&counts(&[("a.rs", 1)]), &BTreeMap::new());
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("--write-baseline"));
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let b = Baseline::from_counts(&counts(&[("a.rs", 2)]));
+        assert!(b
+            .compare(&counts(&[("a.rs", 2), ("b.rs", 0)]), &BTreeMap::new())
+            .is_empty());
+    }
+
+    #[test]
+    fn write_refuses_increases() {
+        let old = Baseline::from_counts(&counts(&[("a.rs", 1)]));
+        let new = Baseline::from_counts(&counts(&[("a.rs", 2), ("new.rs", 1)]));
+        let inc = old.increases_in(&new);
+        assert_eq!(inc, vec!["a.rs".to_string(), "new.rs".to_string()]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Diagnostics produced by the rule engine.
+
+use std::fmt;
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A rule violation: fails the audit under `--deny`.
+    Error,
+    /// Advisory only (e.g. a baseline entry that can be ratcheted down).
+    Note,
+}
+
+/// One finding at a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier, e.g. `ambient-time`.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line, or 0 for whole-file findings.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Whether this finding fails the audit.
+    pub severity: Severity,
+}
+
+impl Diagnostic {
+    /// A violation (denied under `--deny`).
+    pub fn error(rule: &'static str, path: &str, line: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message: message.into(),
+            severity: Severity::Error,
+        }
+    }
+
+    /// An advisory note.
+    pub fn note(rule: &'static str, path: &str, line: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message: message.into(),
+            severity: Severity::Note,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.severity {
+            Severity::Error => "error",
+            Severity::Note => "note",
+        };
+        if self.line == 0 {
+            write!(f, "{}: {kind}[{}]: {}", self.path, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: {kind}[{}]: {}",
+                self.path, self.line, self.rule, self.message
+            )
+        }
+    }
+}

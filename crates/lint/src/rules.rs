@@ -1,0 +1,391 @@
+//! The rule catalog.
+//!
+//! Two families of rules keep the workspace honest about its headline
+//! invariant — bit-exact execution regardless of physical parallelism:
+//!
+//! * **Determinism rules** ban constructs whose observable behavior depends
+//!   on ambient state: hash-ordered collections, wall-clock reads outside
+//!   the bench crate, and threads spawned outside the audited worker pool.
+//! * The **panic ratchet** counts `unwrap()`/`expect()`/`panic!`-family
+//!   macros in non-test library code against a checked-in per-file baseline
+//!   that may only shrink (see [`crate::baseline`]).
+//!
+//! Every rule honors inline suppressions (see [`crate::suppress`]); the
+//! allowlists below encode the few places a construct is *supposed* to
+//! live, so moving such code elsewhere fails the audit instead of silently
+//! expanding the trusted surface.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{self, LexedFile};
+use crate::suppress::{self, Suppression};
+
+/// Every rule id the auditor knows, including the meta rule for malformed
+/// suppressions. Unknown ids in `allow(…)` directives are rejected.
+pub const RULE_IDS: &[&str] = &[
+    "hash-iteration",
+    "ambient-time",
+    "ad-hoc-thread",
+    "registry-dep",
+    "panic-ratchet",
+    "bad-suppression",
+];
+
+/// True when `rule` names a rule in the catalog.
+pub fn is_known_rule(rule: &str) -> bool {
+    RULE_IDS.contains(&rule)
+}
+
+/// Paths (workspace-relative prefixes) where wall-clock reads are expected:
+/// benchmarks measure real elapsed time by definition. Everything else must
+/// go through `vf_device::SimClock` so simulated runs are replayable.
+const AMBIENT_TIME_ALLOWED: &[&str] = &["crates/bench/"];
+
+/// The one module allowed to create threads: the deterministic worker pool.
+/// All other parallelism must be expressed as pool jobs, which the
+/// pool-race sanitizer can audit for overlapping output regions.
+const AD_HOC_THREAD_ALLOWED: &[&str] = &["crates/tensor/src/pool.rs"];
+
+/// Identifiers whose presence in non-test library code violates
+/// `hash-iteration`: these collections iterate in hash order, which is
+/// nondeterministic across processes unless every key's hash is pinned.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Identifiers whose presence violates `ambient-time` outside the
+/// allowlist. `Instant`/`SystemTime` reads make simulated trajectories
+/// unreproducible; simulations advance `vf_device::SimClock` instead.
+const AMBIENT_TIME_TYPES: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
+
+/// The audit result for one source file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations and notes found in the file.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Panic-family call sites in non-test, non-suppressed code, with their
+    /// lines — the input to the baseline ratchet.
+    pub panic_sites: Vec<(u32, String)>,
+    /// How many findings were waived by inline suppressions.
+    pub waived: usize,
+}
+
+/// Runs every code rule over one source file. `path` must be
+/// workspace-relative with forward slashes (it drives the allowlists).
+pub fn check_source(path: &str, src: &str) -> FileReport {
+    let lexed = lexer::lex(src);
+    let (sups, mut diagnostics) = suppress::collect(path, &lexed.comments);
+    let mut report = FileReport::default();
+
+    check_identifier_rule(
+        path,
+        &lexed,
+        &sups,
+        &mut report,
+        "hash-iteration",
+        HASH_TYPES,
+        &[],
+        "has nondeterministic iteration order; use BTreeMap/BTreeSet or a Vec, \
+         or suppress with a reason if no iteration can reach observable state",
+    );
+    check_identifier_rule(
+        path,
+        &lexed,
+        &sups,
+        &mut report,
+        "ambient-time",
+        AMBIENT_TIME_TYPES,
+        AMBIENT_TIME_ALLOWED,
+        "reads ambient wall-clock time; simulations must advance \
+         vf_device::SimClock (only crates/bench may measure real time)",
+    );
+    check_thread_spawn(path, &lexed, &sups, &mut report);
+    count_panic_sites(&lexed, &sups, &mut report);
+
+    report.diagnostics.append(&mut diagnostics);
+    report
+        .diagnostics
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    report
+}
+
+fn allowed(path: &str, allowlist: &[&str]) -> bool {
+    allowlist.iter().any(|p| path.starts_with(p))
+}
+
+/// Flags any occurrence of `idents` outside test code, the allowlist, and
+/// suppressions. At most one diagnostic per (line, identifier).
+#[allow(clippy::too_many_arguments)]
+fn check_identifier_rule(
+    path: &str,
+    lexed: &LexedFile,
+    sups: &[Suppression],
+    report: &mut FileReport,
+    rule: &'static str,
+    idents: &[&str],
+    allowlist: &[&str],
+    message: &str,
+) {
+    if allowed(path, allowlist) {
+        return;
+    }
+    let mut last: Option<(u32, String)> = None;
+    for t in &lexed.tokens {
+        if !idents.contains(&t.text.as_str()) || lexed.is_test_line(t.line) {
+            continue;
+        }
+        if last.as_ref() == Some(&(t.line, t.text.clone())) {
+            continue;
+        }
+        last = Some((t.line, t.text.clone()));
+        if suppress::is_suppressed(sups, rule, t.line) {
+            report.waived += 1;
+            continue;
+        }
+        report.diagnostics.push(Diagnostic::error(
+            rule,
+            path,
+            t.line,
+            format!("`{}` {message}", t.text),
+        ));
+    }
+}
+
+/// Flags `spawn(` calls outside the worker pool: a thread the pool does not
+/// own can write overlapping output regions with no sanitizer watching.
+fn check_thread_spawn(
+    path: &str,
+    lexed: &LexedFile,
+    sups: &[Suppression],
+    report: &mut FileReport,
+) {
+    if allowed(path, AD_HOC_THREAD_ALLOWED) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if toks[i].text != "spawn"
+            || toks.get(i + 1).map(|t| t.text.as_str()) != Some("(")
+            || lexed.is_test_line(toks[i].line)
+        {
+            continue;
+        }
+        if suppress::is_suppressed(sups, "ad-hoc-thread", toks[i].line) {
+            report.waived += 1;
+            continue;
+        }
+        report.diagnostics.push(Diagnostic::error(
+            "ad-hoc-thread",
+            path,
+            toks[i].line,
+            "thread spawned outside vf_tensor::pool; route parallel work \
+             through the pool so the race sanitizer can audit it",
+        ));
+    }
+}
+
+/// Macros counted by the panic ratchet alongside `.unwrap()`/`.expect()`.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Records every panic-family call site in non-test, non-suppressed code.
+fn count_panic_sites(lexed: &LexedFile, sups: &[Suppression], report: &mut FileReport) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if lexed.is_test_line(toks[i].line) {
+            continue;
+        }
+        let what = &toks[i].text;
+        let site = if (what == "unwrap" || what == "expect")
+            && i > 0
+            && matches!(toks[i - 1].text.as_str(), "." | "::")
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+        {
+            Some(format!("{what}()"))
+        } else if PANIC_MACROS.contains(&what.as_str())
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("!")
+        {
+            Some(format!("{what}!"))
+        } else {
+            None
+        };
+        let Some(site) = site else { continue };
+        if suppress::is_suppressed(sups, "panic-ratchet", toks[i].line) {
+            report.waived += 1;
+            continue;
+        }
+        report.panic_sites.push((toks[i].line, site));
+    }
+}
+
+/// Audits one `Cargo.toml` for the `registry-dep` rule: every dependency in
+/// this offline workspace must resolve by `path` (directly or via
+/// `workspace = true` inheritance into the path-only root table). A bare
+/// version requirement means a registry fetch, which the build environment
+/// cannot perform and which would smuggle unaudited code past the lints.
+pub fn check_manifest(path: &str, toml: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut in_dep_section = false;
+    // Header-form dependency tables (`[dependencies.foo]`) accumulate keys
+    // until the next header; flushed on section change and at EOF.
+    let mut pending: Option<(String, u32, bool)> = None;
+
+    let flush = |pending: &mut Option<(String, u32, bool)>, diags: &mut Vec<Diagnostic>| {
+        if let Some((name, line, ok)) = pending.take() {
+            if !ok {
+                diags.push(registry_dep_error(path, line, &name));
+            }
+        }
+    };
+
+    for (idx, raw) in toml.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(&mut pending, &mut diags);
+            let section = line.trim_matches(['[', ']']).trim();
+            let is_dep = section.ends_with("dependencies") || section.contains("dependencies.");
+            in_dep_section = is_dep;
+            if let Some((_, name)) = section.split_once("dependencies.") {
+                pending = Some((name.to_string(), line_no, false));
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if let Some(p) = pending.as_mut() {
+            if key == "path" || (key == "workspace" && value == "true") {
+                p.2 = true;
+            }
+            continue;
+        }
+        let name = key.split('.').next().unwrap_or(key).trim();
+        let ok = value.contains("path") && value.contains('=')
+            || key.ends_with(".workspace") && value == "true"
+            || value.contains("workspace = true")
+            || value.contains("workspace=true");
+        if !ok {
+            diags.push(registry_dep_error(path, line_no, name));
+        }
+    }
+    flush(&mut pending, &mut diags);
+    diags
+}
+
+fn registry_dep_error(path: &str, line: u32, name: &str) -> Diagnostic {
+    Diagnostic::error(
+        "registry-dep",
+        path,
+        line,
+        format!(
+            "dependency `{name}` does not resolve by path; registry crates \
+             are vendored as std-only shims under shims/ (see DESIGN.md §11)"
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_map_in_library_code_is_flagged() {
+        let r = check_source("crates/x/src/lib.rs", "use std::collections::HashMap;\n");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "hash-iteration");
+    }
+
+    #[test]
+    fn hash_map_in_test_code_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let r = check_source("crates/x/src/lib.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn instant_is_flagged_outside_bench() {
+        let r = check_source("crates/core/src/engine.rs", "let t = Instant::now();\n");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "ambient-time");
+    }
+
+    #[test]
+    fn instant_is_allowed_in_bench() {
+        let r = check_source("crates/bench/src/bin/b.rs", "let t = Instant::now();\n");
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn spawn_is_flagged_outside_pool() {
+        let r = check_source("crates/comm/src/lib.rs", "std::thread::spawn(|| {});\n");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "ad-hoc-thread");
+    }
+
+    #[test]
+    fn spawn_is_allowed_in_pool() {
+        let r = check_source("crates/tensor/src/pool.rs", "builder.spawn(f);\n");
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn panic_sites_are_counted_outside_tests_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   fn g() { panic!(\"boom\"); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        let r = check_source("crates/x/src/lib.rs", src);
+        assert_eq!(
+            r.panic_sites,
+            vec![(1, "unwrap()".to_string()), (2, "panic!".to_string())]
+        );
+    }
+
+    #[test]
+    fn suppressed_panic_site_is_waived() {
+        let src = "// vf-lint: allow(panic-ratchet) — contract documented above\n\
+                   fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let r = check_source("crates/x/src/lib.rs", src);
+        assert!(r.panic_sites.is_empty());
+        assert_eq!(r.waived, 1);
+    }
+
+    #[test]
+    fn strings_never_trip_rules() {
+        let src = "fn f() { let s = \"HashMap Instant spawn( unwrap()\"; let _ = s; }\n";
+        let r = check_source("crates/x/src/lib.rs", src);
+        assert!(r.diagnostics.is_empty());
+        assert!(r.panic_sites.is_empty());
+    }
+
+    #[test]
+    fn manifest_with_version_dep_is_flagged() {
+        let toml = "[package]\nname = \"x\"\n[dependencies]\nserde = \"1.0\"\n";
+        let d = check_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "registry-dep");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn manifest_with_path_and_workspace_deps_is_clean() {
+        let toml = "[dependencies]\nvf-tensor.workspace = true\n\
+                    rand = { path = \"../../shims/rand\" }\n\
+                    [dev-dependencies]\nproptest = { workspace = true }\n";
+        let d = check_manifest("crates/x/Cargo.toml", toml);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn header_form_dep_table_requires_path() {
+        let toml = "[dependencies.serde]\nversion = \"1\"\nfeatures = [\"derive\"]\n";
+        let d = check_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(d.len(), 1);
+        let toml_ok = "[dependencies.serde]\npath = \"../../shims/serde\"\n";
+        assert!(check_manifest("crates/x/Cargo.toml", toml_ok).is_empty());
+    }
+}

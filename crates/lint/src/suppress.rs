@@ -1,0 +1,148 @@
+//! Inline suppression directives.
+//!
+//! A rule can be waived for one line of code with a comment of the form
+//!
+//! ```text
+//! // vf-lint: allow(rule-id) — reason why the violation is deliberate
+//! ```
+//!
+//! (`:` or `--` are accepted in place of the em dash). A trailing comment
+//! suppresses its own line; a standalone comment suppresses the line below
+//! it. The reason is mandatory — a suppression without one is itself a
+//! violation (`bad-suppression`), so every waiver is self-documenting.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Comment;
+use crate::rules;
+
+/// A parsed `vf-lint: allow(…)` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule being waived.
+    pub rule: String,
+    /// The 1-based source line the waiver applies to.
+    pub applies_to: u32,
+    /// The justification text.
+    pub reason: String,
+}
+
+/// Extracts suppressions from a file's comments. Malformed directives
+/// (missing reason, unknown rule) are reported as `bad-suppression` errors.
+pub fn collect(path: &str, comments: &[Comment]) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        if c.doc {
+            continue; // doc comments may quote directive syntax in examples
+        }
+        let Some(rest) = c.text.split("vf-lint:").nth(1) else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(after_allow) = rest.strip_prefix("allow") else {
+            diags.push(Diagnostic::error(
+                "bad-suppression",
+                path,
+                c.line,
+                format!("unrecognized vf-lint directive `{rest}`; expected `allow(rule) — reason`"),
+            ));
+            continue;
+        };
+        let after_allow = after_allow.trim_start();
+        let (rule, after) = match after_allow
+            .strip_prefix('(')
+            .and_then(|s| s.split_once(')'))
+        {
+            Some((rule, after)) => (rule.trim().to_string(), after),
+            None => {
+                diags.push(Diagnostic::error(
+                    "bad-suppression",
+                    path,
+                    c.line,
+                    "malformed suppression; expected `allow(rule) — reason`",
+                ));
+                continue;
+            }
+        };
+        if !rules::is_known_rule(&rule) {
+            diags.push(Diagnostic::error(
+                "bad-suppression",
+                path,
+                c.line,
+                format!(
+                    "unknown rule `{rule}` in suppression; known rules: {}",
+                    rules::RULE_IDS.join(", ")
+                ),
+            ));
+            continue;
+        }
+        let reason = after
+            .trim_start()
+            .trim_start_matches(['—', '-', ':', ' '])
+            .trim()
+            .to_string();
+        if reason.is_empty() {
+            diags.push(Diagnostic::error(
+                "bad-suppression",
+                path,
+                c.line,
+                format!("suppression of `{rule}` has no reason; every waiver must say why"),
+            ));
+            continue;
+        }
+        let applies_to = if c.trailing { c.line } else { c.line + 1 };
+        sups.push(Suppression {
+            rule,
+            applies_to,
+            reason,
+        });
+    }
+    (sups, diags)
+}
+
+/// True when `rule` is waived on `line` by any suppression in `sups`.
+pub fn is_suppressed(sups: &[Suppression], rule: &str, line: u32) -> bool {
+    sups.iter().any(|s| s.rule == rule && s.applies_to == line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    #[test]
+    fn trailing_suppression_covers_its_line() {
+        let f = lexer::lex("let t = now(); // vf-lint: allow(ambient-time) — bench timing\n");
+        let (sups, diags) = collect("x.rs", &f.comments);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(sups.len(), 1);
+        assert!(is_suppressed(&sups, "ambient-time", 1));
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_line() {
+        let src = "// vf-lint: allow(panic-ratchet): lock poisoning is fatal by design\nlet g = m.lock().unwrap();\n";
+        let f = lexer::lex(src);
+        let (sups, diags) = collect("x.rs", &f.comments);
+        assert!(diags.is_empty());
+        assert!(is_suppressed(&sups, "panic-ratchet", 2));
+        assert!(!is_suppressed(&sups, "panic-ratchet", 1));
+    }
+
+    #[test]
+    fn reasonless_suppression_is_a_violation() {
+        let f = lexer::lex("// vf-lint: allow(ambient-time)\nlet t = now();\n");
+        let (sups, diags) = collect("x.rs", &f.comments);
+        assert!(sups.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "bad-suppression");
+    }
+
+    #[test]
+    fn unknown_rule_is_a_violation() {
+        let f = lexer::lex("// vf-lint: allow(no-such-rule) — whatever\nfn f() {}\n");
+        let (_, diags) = collect("x.rs", &f.comments);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unknown rule"));
+    }
+}

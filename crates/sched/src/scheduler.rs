@@ -136,7 +136,9 @@ impl Scheduler for ElasticWfs {
                 let id = job.spec.id;
                 let headroom = (job.spec.demand - 1) as f64 - shares[&id];
                 let grant = (pool * self.weight(job) / total_w).min(headroom);
-                *shares.get_mut(&id).expect("inserted above") += grant;
+                if let Some(share) = shares.get_mut(&id) {
+                    *share += grant;
+                }
                 distributed += grant;
                 if grant < headroom - 1e-12 {
                     next_active.push(*job);
@@ -157,7 +159,9 @@ impl Scheduler for ElasticWfs {
                 continue;
             };
             let extra = share.floor() as u32;
-            *alloc.get_mut(&job.spec.id).expect("pass 1") += extra;
+            if let Some(base) = alloc.get_mut(&job.spec.id) {
+                *base += extra;
+            }
             leftover -= extra;
             remainders.push((job.spec.id, share - share.floor(), job.spec.priority));
         }
@@ -171,7 +175,9 @@ impl Scheduler for ElasticWfs {
             if leftover == 0 {
                 break;
             }
-            let job = jobs.iter().find(|j| j.spec.id == id).expect("known id");
+            let Some(job) = jobs.iter().find(|j| j.spec.id == id) else {
+                continue;
+            };
             let current = alloc[&id];
             if current < job.spec.demand {
                 alloc.insert(id, current + 1);
@@ -233,7 +239,9 @@ impl Scheduler for ThroughputOptimizer {
                 });
             match best {
                 Some((id, gain)) if gain > 0.0 => {
-                    *alloc.get_mut(&id).expect("initialized") += 1;
+                    if let Some(a) = alloc.get_mut(&id) {
+                        *a += 1;
+                    }
                 }
                 _ => break, // no job benefits from another GPU
             }
@@ -275,14 +283,17 @@ impl Scheduler for StaticPriority {
                 .running
                 .keys()
                 .min_by_key(|id| {
-                    let j = jobs
-                        .iter()
+                    // The retain above keeps only ids present in `jobs`, so
+                    // the lookup can miss only if that invariant breaks;
+                    // sort such ids first so they are evicted, not kept.
+                    jobs.iter()
                         .find(|j| j.spec.id == **id)
-                        .expect("running jobs are present");
-                    (j.spec.priority, std::cmp::Reverse(j.spec.id))
+                        .map(|j| (j.spec.priority, std::cmp::Reverse(j.spec.id)))
                 })
-                .copied()
-                .expect("non-empty while over capacity");
+                .copied();
+            let Some(victim) = victim else {
+                break;
+            };
             self.running.remove(&victim);
         }
         let used: u32 = self.running.values().sum();

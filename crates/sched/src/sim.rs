@@ -233,12 +233,10 @@ pub fn run_trace(
 
         // Absorb all events at this instant: capacity changes, arrivals,
         // completions.
-        while capacity_iter.peek().is_some_and(|e| e.at_s <= now) {
-            let e = capacity_iter.next().expect("peeked");
+        while let Some(e) = capacity_iter.next_if(|e| e.at_s <= now) {
             capacity = e.num_gpus.min(config.num_gpus);
         }
-        while pending.peek().is_some_and(|j| j.arrival_s <= now) {
-            let spec = pending.next().expect("peeked");
+        while let Some(spec) = pending.next_if(|j| j.arrival_s <= now) {
             active.insert(spec.id, JobState::new(spec));
         }
         let finished_ids: Vec<JobId> = active
@@ -247,7 +245,9 @@ pub fn run_trace(
             .map(|j| j.spec.id)
             .collect();
         for id in finished_ids {
-            let mut job = active.remove(&id).expect("present");
+            let Some(mut job) = active.remove(&id) else {
+                continue;
+            };
             job.finished_at_s = Some(now);
             job.allocation = 0;
             done.push(job);

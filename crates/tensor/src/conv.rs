@@ -160,6 +160,9 @@ pub fn conv2d(input: &Tensor, kernel: &Tensor) -> Result<Tensor, TensorError> {
     let kd = kernel.data();
     let out_ptr = SendPtr(out.as_mut_ptr());
     let work = |images: Range<usize>| {
+        // Race sanitizer (debug): this chunk owns the output rows of its
+        // image range.
+        pool::claim_region(out_ptr.get(), images.start * oc * hw..images.end * oc * hw);
         let mut cols = vec![0.0f32; taps * hw];
         for b in images {
             im2col(&id[b * ic * hw..(b + 1) * ic * hw], ic, h, w, kh, kw, ph, pw, &mut cols);
@@ -173,7 +176,7 @@ pub fn conv2d(input: &Tensor, kernel: &Tensor) -> Result<Tensor, TensorError> {
     if n > 1 && oc * taps * hw >= PARALLEL_MIN_FLOPS {
         pool::parallel_rows(n, work);
     } else {
-        work(0..n);
+        pool::run_serial(n, work);
     }
     Tensor::from_vec(out, [n, oc, h, w])
 }
@@ -202,6 +205,9 @@ pub fn conv2d_grad_input(grad_out: &Tensor, kernel: &Tensor) -> Result<Tensor, T
     let kd = kernel.data();
     let out_ptr = SendPtr(out.as_mut_ptr());
     let work = |images: Range<usize>| {
+        // Race sanitizer (debug): this chunk owns the input-gradient rows
+        // of its image range.
+        pool::claim_region(out_ptr.get(), images.start * ic * hw..images.end * ic * hw);
         let mut dcols = vec![0.0f32; taps * hw];
         for b in images {
             // dCols (taps × hw) = K_flatᵀ (taps × oc) · dOut_b (oc × hw):
@@ -224,7 +230,7 @@ pub fn conv2d_grad_input(grad_out: &Tensor, kernel: &Tensor) -> Result<Tensor, T
     if n > 1 && oc * taps * hw >= PARALLEL_MIN_FLOPS {
         pool::parallel_rows(n, work);
     } else {
-        work(0..n);
+        pool::run_serial(n, work);
     }
     Tensor::from_vec(out, [n, ic, h, w])
 }

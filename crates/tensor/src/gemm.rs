@@ -370,6 +370,12 @@ fn gemm(
     let nblocks = m.div_ceil(mr_max);
     let out_ptr = SendPtr(out.as_mut_ptr());
     let work = |blocks: Range<usize>| {
+        // Race sanitizer (debug): this chunk owns output rows
+        // [blocks.start·MR, min(blocks.end·MR, m)).
+        pool::claim_region(
+            out_ptr.get(),
+            blocks.start * mr_max * n..(blocks.end * mr_max).min(m) * n,
+        );
         let mut apack = vec![0.0f32; k.max(1) * mr_max];
         for blk in blocks {
             let ir = blk * mr_max;
@@ -405,7 +411,7 @@ fn gemm(
     if parallel && flops >= PARALLEL_MIN_FLOPS {
         pool::parallel_rows(nblocks, work);
     } else {
-        work(0..nblocks);
+        pool::run_serial(nblocks, work);
     }
 }
 

@@ -43,7 +43,7 @@ pub fn normal(rng: &mut StdRng, shape: impl Into<crate::Shape>, mean: f32, std: 
             data.push(mean + std * r * theta.sin());
         }
     }
-    Tensor::from_vec(data, shape).expect("sampled exactly n elements")
+    Tensor::from_parts(data, shape)
 }
 
 /// Samples a tensor with i.i.d. uniform entries in `[lo, hi)`.
@@ -51,7 +51,7 @@ pub fn uniform(rng: &mut StdRng, shape: impl Into<crate::Shape>, lo: f32, hi: f3
     let shape = shape.into();
     let n = shape.num_elements();
     let data = (0..n).map(|_| lo + (hi - lo) * rng.gen::<f32>()).collect();
-    Tensor::from_vec(data, shape).expect("sampled exactly n elements")
+    Tensor::from_parts(data, shape)
 }
 
 /// Xavier/Glorot uniform initialization for a `fan_in × fan_out` weight.

@@ -58,6 +58,8 @@ pub mod ops;
 pub mod optim;
 pub mod pool;
 pub mod reduce;
+#[cfg(debug_assertions)]
+mod sanitizer;
 mod shape;
 mod tensor;
 

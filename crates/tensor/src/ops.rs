@@ -88,7 +88,7 @@ pub fn transpose(a: &Tensor) -> Tensor {
             out[j * m + i] = ad[i * n + j];
         }
     }
-    Tensor::from_vec(out, [n, m]).expect("transpose preserves element count")
+    Tensor::from_parts(out, [n, m])
 }
 
 /// Adds a bias row-vector to every row of a matrix.
@@ -113,7 +113,7 @@ pub fn add_bias(a: &Tensor, bias: &Tensor) -> Result<Tensor, TensorError> {
             out[i * n + j] += bd[j];
         }
     }
-    Ok(Tensor::from_vec(out, a.shape().clone()).expect("same shape"))
+    Ok(Tensor::from_parts(out, a.shape().clone()))
 }
 
 /// Sums a matrix over rows, producing a row-vector of column sums.
@@ -126,7 +126,7 @@ pub fn sum_rows(a: &Tensor) -> Tensor {
             out[j] += ad[i * n + j];
         }
     }
-    Tensor::from_vec(out, [n]).expect("column count")
+    Tensor::from_parts(out, [n])
 }
 
 /// Rectified linear unit, elementwise.
@@ -188,7 +188,7 @@ pub fn softmax_rows(a: &Tensor) -> Tensor {
             out[i * n + j] /= denom;
         }
     }
-    Tensor::from_vec(out, a.shape().clone()).expect("same shape")
+    Tensor::from_parts(out, a.shape().clone())
 }
 
 /// Mean softmax cross-entropy loss of `logits` (m×n) against integer
@@ -335,8 +335,8 @@ pub fn batch_stats(a: &Tensor) -> (Tensor, Tensor) {
         *v *= inv_m;
     }
     (
-        Tensor::from_vec(mean, [n]).expect("n columns"),
-        Tensor::from_vec(var, [n]).expect("n columns"),
+        Tensor::from_parts(mean, [n]),
+        Tensor::from_parts(var, [n]),
     )
 }
 
@@ -375,7 +375,7 @@ pub fn batch_norm_apply(
             out[i * n + j] = gd[j] * xhat + bd[j];
         }
     }
-    Ok(Tensor::from_vec(out, a.shape().clone()).expect("same shape"))
+    Ok(Tensor::from_parts(out, a.shape().clone()))
 }
 
 /// Per-row statistics of a matrix: `(mean, variance)` per row (biased
@@ -393,8 +393,8 @@ pub fn row_stats(a: &Tensor) -> (Tensor, Tensor) {
         var[i] = row.iter().map(|&x| (x - mu) * (x - mu)).sum::<f32>() * inv_n;
     }
     (
-        Tensor::from_vec(mean, [m]).expect("m rows"),
-        Tensor::from_vec(var, [m]).expect("m rows"),
+        Tensor::from_parts(mean, [m]),
+        Tensor::from_parts(var, [m]),
     )
 }
 
@@ -429,7 +429,7 @@ pub fn layer_norm_rows(
             out[i * n + j] = gd[j] * xhat + bd[j];
         }
     }
-    Ok(Tensor::from_vec(out, a.shape().clone()).expect("same shape"))
+    Ok(Tensor::from_parts(out, a.shape().clone()))
 }
 
 /// A deterministic inverted-dropout mask: entries are `1/(1−rate)` with
@@ -454,7 +454,7 @@ pub fn dropout_mask(shape: impl Into<Shape>, rate: f32, seed: u64) -> Tensor {
     let data = (0..shape.num_elements())
         .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
         .collect();
-    Tensor::from_vec(data, shape).expect("exact element count")
+    Tensor::from_parts(data, shape)
 }
 
 /// Clips the global L2 norm of a set of gradients to `max_norm`, scaling all

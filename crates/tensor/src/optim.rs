@@ -21,7 +21,7 @@ const PARALLEL_MIN_LEN: usize = 4096;
 /// update is bit-identical under any thread count.
 fn for_each_chunk(len: usize, body: impl Fn(Range<usize>) + Sync) {
     if len < PARALLEL_MIN_LEN {
-        body(0..len);
+        pool::run_serial(len, body);
     } else {
         pool::parallel_rows(len, body);
     }
@@ -161,6 +161,10 @@ impl Optimizer for Sgd {
                 None
             };
             for_each_chunk(len, |r| {
+                pool::claim_region(p_ptr.get(), r.clone());
+                if let Some(vp) = v_ptr {
+                    pool::claim_region(vp.get(), r.clone());
+                }
                 // SAFETY: chunks cover disjoint index ranges of p and v.
                 let pd = unsafe { std::slice::from_raw_parts_mut(p_ptr.get().add(r.start), r.len()) };
                 let gd = &gd[r.clone()];
@@ -287,6 +291,9 @@ impl Optimizer for Adam {
             let m_ptr = SendPtr(self.m[i].data_mut().as_mut_ptr());
             let v_ptr = SendPtr(self.v[i].data_mut().as_mut_ptr());
             for_each_chunk(len, |r| {
+                pool::claim_region(p_ptr.get(), r.clone());
+                pool::claim_region(m_ptr.get(), r.clone());
+                pool::claim_region(v_ptr.get(), r.clone());
                 // SAFETY: chunks cover disjoint index ranges of p, m, and v.
                 let pd = unsafe { std::slice::from_raw_parts_mut(p_ptr.get().add(r.start), r.len()) };
                 let md = unsafe { std::slice::from_raw_parts_mut(m_ptr.get().add(r.start), r.len()) };

@@ -24,12 +24,19 @@
 //!   kernel inside a parallel device step) cannot deadlock: the inner
 //!   submitter completes its own chunks even if every worker is busy.
 //! * Worker panics are caught, recorded, and re-raised on the submitting
-//!   thread once the job has fully drained.
+//!   thread (original payload preserved) once the job has fully drained.
+//! * In debug builds a race sanitizer audits the disjointness contract:
+//!   each chunk registers the output region it writes via [`claim_region`],
+//!   and any overlap between chunks of one job aborts with a diagnostic
+//!   (see [`crate::sanitizer`]). Release builds compile the checks out.
 
+#[cfg(debug_assertions)]
+use crate::sanitizer;
+use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// A raw pointer wrapper that may be sent across pool threads.
@@ -102,7 +109,12 @@ struct Job {
     next: AtomicUsize,
     done: Mutex<usize>,
     complete: Condvar,
-    panicked: AtomicBool,
+    /// First chunk panic, re-raised on the submitter with its payload
+    /// intact — so a sanitizer abort keeps its diagnostic message.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Output regions claimed by this job's chunks (race sanitizer).
+    #[cfg(debug_assertions)]
+    claims: Arc<sanitizer::ClaimSet>,
 }
 
 unsafe impl Send for Job {}
@@ -127,6 +139,7 @@ fn pool() -> &'static Pool {
             std::thread::Builder::new()
                 .name(format!("vf-pool-{i}"))
                 .spawn(move || worker_loop(pool))
+                // vf-lint: allow(panic-ratchet) — failing to spawn a pool worker at startup is unrecoverable
                 .expect("spawn vf-tensor pool worker");
         }
         pool
@@ -136,6 +149,7 @@ fn pool() -> &'static Pool {
 fn worker_loop(pool: &'static Pool) {
     loop {
         let job = {
+            // vf-lint: allow(panic-ratchet) — poisoned pool lock means a worker already aborted; propagate
             let mut q = pool.queue.lock().expect("pool queue poisoned");
             loop {
                 // Discard fully-claimed jobs; their chunks are finishing on
@@ -150,6 +164,7 @@ fn worker_loop(pool: &'static Pool) {
                 if let Some(front) = q.front() {
                     break Arc::clone(front);
                 }
+                // vf-lint: allow(panic-ratchet) — poisoned pool lock means a worker already aborted; propagate
                 q = pool.available.wait(q).expect("pool queue poisoned");
             }
         };
@@ -167,9 +182,17 @@ fn run_chunks(job: &Job) {
         // SAFETY: the submitter keeps the closure alive until every claimed
         // chunk has been counted in `done`, which happens after this call.
         let f = unsafe { &*job.func };
-        if catch_unwind(AssertUnwindSafe(|| f(c))).is_err() {
-            job.panicked.store(true, Ordering::SeqCst);
+        #[cfg(debug_assertions)]
+        let _ctx = sanitizer::enter(&job.claims, c);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(c))) {
+            let mut slot = job
+                .panic_payload
+                .lock()
+                // vf-lint: allow(panic-ratchet) — this lock is only poisoned if the runtime itself panicked; nothing sane to do
+                .expect("job panic slot poisoned");
+            slot.get_or_insert(payload);
         }
+        // vf-lint: allow(panic-ratchet) — chunk bodies run under catch_unwind, so this lock cannot be poisoned by user code
         let mut done = job.done.lock().expect("job completion lock poisoned");
         *done += 1;
         if *done == job.total {
@@ -187,7 +210,13 @@ fn run_job(body: &(dyn Fn(usize) + Sync), total: usize) {
     let pool = pool();
     if pool.workers == 0 || total == 1 {
         // Sequential fast path: same chunks, same order, same arithmetic.
+        // The sanitizer still audits chunk claims, so a disjointness bug is
+        // caught even when no physical parallelism backs the job.
+        #[cfg(debug_assertions)]
+        let claims = Arc::new(sanitizer::ClaimSet::default());
         for c in 0..total {
+            #[cfg(debug_assertions)]
+            let _ctx = sanitizer::enter(&claims, c);
             body(c);
         }
         return;
@@ -203,22 +232,72 @@ fn run_job(body: &(dyn Fn(usize) + Sync), total: usize) {
         next: AtomicUsize::new(0),
         done: Mutex::new(0),
         complete: Condvar::new(),
-        panicked: AtomicBool::new(false),
+        panic_payload: Mutex::new(None),
+        #[cfg(debug_assertions)]
+        claims: Arc::new(sanitizer::ClaimSet::default()),
     });
     pool.queue
         .lock()
+        // vf-lint: allow(panic-ratchet) — poisoned pool lock means a worker already aborted; propagate
         .expect("pool queue poisoned")
         .push_back(Arc::clone(&job));
     pool.available.notify_all();
     run_chunks(&job);
+    // vf-lint: allow(panic-ratchet) — chunk bodies run under catch_unwind, so this lock cannot be poisoned by user code
     let mut done = job.done.lock().expect("job completion lock poisoned");
     while *done < job.total {
+        // vf-lint: allow(panic-ratchet) — chunk bodies run under catch_unwind, so this lock cannot be poisoned by user code
         done = job.complete.wait(done).expect("job completion lock poisoned");
     }
     drop(done);
-    if job.panicked.load(Ordering::SeqCst) {
-        panic!("vf-tensor pool: a parallel chunk panicked");
+    let payload = job
+        .panic_payload
+        .lock()
+        // vf-lint: allow(panic-ratchet) — this lock is only poisoned if the runtime itself panicked; nothing sane to do
+        .expect("job panic slot poisoned")
+        .take();
+    if let Some(payload) = payload {
+        // Re-raise with the original payload so the panic message (e.g. a
+        // sanitizer overlap diagnostic) reaches the submitting thread.
+        resume_unwind(payload);
     }
+}
+
+/// Records that the chunk this thread is executing will write elements
+/// `elems` of the buffer at `base`.
+///
+/// Debug builds feed this to the pool-race sanitizer, which aborts if the
+/// interval overlaps a region claimed by a different chunk of the same job
+/// (see [`crate::sanitizer`]); release builds compile it to nothing.
+/// Calling outside a pool job is a no-op. Kernels should claim at the top
+/// of each chunk, before writing.
+#[inline]
+pub fn claim_region<T>(base: *const T, elems: Range<usize>) {
+    #[cfg(debug_assertions)]
+    {
+        let start = base as usize + elems.start * std::mem::size_of::<T>();
+        let end = base as usize + elems.end * std::mem::size_of::<T>();
+        sanitizer::claim_bytes(start..end);
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (base, elems);
+}
+
+/// Runs `body(0..rows)` on the calling thread with the race sanitizer
+/// muted.
+///
+/// Kernels use this for their too-small-to-parallelize fallback instead of
+/// calling the work closure directly: when the caller is itself inside a
+/// pool job (e.g. a serial matmul inside a device task), claims made by
+/// the closure would attach to that *enclosing* job, and since a serial
+/// kernel's output may be a temporary freed long before the enclosing job
+/// completes, allocator reuse would make stale claims on dead memory alias
+/// fresh allocations and report false races. The enclosing chunk's own
+/// claim already covers everything it writes.
+pub fn run_serial(rows: usize, body: impl FnOnce(Range<usize>)) {
+    #[cfg(debug_assertions)]
+    let _quiet = crate::sanitizer::enter_quiet();
+    body(0..rows);
 }
 
 /// Splits `rows` into at most [`num_threads`] contiguous ranges and runs
@@ -256,6 +335,7 @@ pub fn parallel_tasks<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T
     {
         let slots = SendPtr(out.as_mut_ptr());
         let run = move |i: usize| {
+            claim_region(slots.get(), i..i + 1);
             let v = f(i);
             // SAFETY: each task index writes only its own slot.
             unsafe { *slots.get().add(i) = Some(v) };
@@ -263,6 +343,7 @@ pub fn parallel_tasks<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T
         run_job(&run, n);
     }
     out.into_iter()
+        // vf-lint: allow(panic-ratchet) — run_job returns only after every slot was written; an empty slot is a pool bug
         .map(|o| o.expect("pool task completed without a result"))
         .collect()
 }
@@ -307,6 +388,78 @@ mod tests {
                 assert_eq!(next, rows);
             }
         }
+    }
+
+    /// Forces a known chunk count for sanitizer tests, restoring on drop so
+    /// concurrently running tests see a sane value afterwards.
+    struct ThreadCountGuard(usize);
+    impl ThreadCountGuard {
+        fn force(n: usize) -> Self {
+            let orig = num_threads();
+            set_num_threads(n);
+            ThreadCountGuard(orig)
+        }
+    }
+    impl Drop for ThreadCountGuard {
+        fn drop(&mut self) {
+            set_num_threads(self.0);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn sanitizer_accepts_disjoint_claims() {
+        let _guard = ThreadCountGuard::force(4);
+        let mut buf = vec![0f32; 64];
+        let base = SendPtr(buf.as_mut_ptr());
+        parallel_rows(64, move |r| {
+            claim_region(base.get(), r.clone());
+            for i in r {
+                // SAFETY: ranges from parallel_rows are disjoint.
+                unsafe { *base.get().add(i) = i as f32 };
+            }
+        });
+        assert_eq!(buf[63], 63.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "pool-race sanitizer")]
+    fn sanitizer_aborts_on_overlapping_claims() {
+        let _guard = ThreadCountGuard::force(4);
+        let mut buf = vec![0f32; 64];
+        let base = SendPtr(buf.as_mut_ptr());
+        // Every chunk claims the whole buffer: any second chunk must abort.
+        parallel_rows(64, move |_r| {
+            claim_region(base.get(), 0..64);
+        });
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "pool-race sanitizer")]
+    fn sanitizer_catches_overlap_through_different_base_pointers() {
+        let _guard = ThreadCountGuard::force(2);
+        let mut buf = vec![0u8; 64];
+        let base = SendPtr(buf.as_mut_ptr());
+        // Chunk claims use shifted bases whose absolute intervals collide
+        // even though (base, range) pairs look distinct.
+        parallel_rows(2, move |r| {
+            // SAFETY: pointer arithmetic stays inside the buffer.
+            let shifted = unsafe { base.get().add(r.start * 8) };
+            claim_region(shifted, 0..32);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "original chunk panic message survives")]
+    fn chunk_panics_keep_their_payload() {
+        let _guard = ThreadCountGuard::force(4);
+        parallel_rows(64, |r| {
+            if r.start == 0 {
+                panic!("original chunk panic message survives");
+            }
+        });
     }
 
     #[test]

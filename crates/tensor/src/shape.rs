@@ -89,6 +89,7 @@ impl Shape {
             [] => (1, 1),
             [n] => (1, *n),
             [r, c] => (*r, *c),
+            // vf-lint: allow(panic-ratchet) — documented contract: callers must pass rank <= 2
             other => panic!("shape {:?} has rank {} > 2", other, other.len()),
         }
     }

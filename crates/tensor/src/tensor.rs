@@ -49,6 +49,23 @@ impl Tensor {
         Ok(Tensor { shape, data })
     }
 
+    /// Builds a tensor from a buffer whose length is known to match
+    /// `shape` — the kernel-internal counterpart of [`Tensor::from_vec`].
+    ///
+    /// Internal kernels size their buffers from the shape itself, so the
+    /// length check cannot fail; routing them here instead of through
+    /// `from_vec(..).expect(..)` keeps impossible panics out of the
+    /// panic-ratchet baseline. Debug builds still verify the contract.
+    pub(crate) fn from_parts(data: Vec<f32>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        debug_assert_eq!(
+            data.len(),
+            shape.num_elements(),
+            "Tensor::from_parts: buffer length must match shape"
+        );
+        Tensor { shape, data }
+    }
+
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();

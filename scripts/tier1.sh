@@ -10,6 +10,12 @@ cargo build --release
 echo "== tier 1: tests =="
 cargo test -q
 
+echo "== tier 1: tensor tests (debug profile, pool-race sanitizer armed) =="
+cargo test -q -p vf-tensor
+
+echo "== tier 1: workspace invariants (vf-lint) =="
+cargo run -q -p vf-lint -- --deny
+
 echo "== tier 1: clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
