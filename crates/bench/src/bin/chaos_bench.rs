@@ -22,6 +22,7 @@ use vf_data::Dataset;
 use vf_device::{DeviceId, FailureModel, FaultPlan, SpotModel};
 use vf_models::trainable::Architecture;
 use vf_models::Mlp;
+use vf_obs::Metrics;
 
 const SEED: u64 = 2022;
 
@@ -115,6 +116,10 @@ fn main() -> ExitCode {
     // allowed, but the trajectory must still be bit-exact.
     let non_emptying: &[&str] = &["fault-free", "mild"];
 
+    // Headline numbers also flow through the shared vf-obs registry, so the
+    // emitted JSON carries the same canonical metrics block as the trace
+    // reports and kernel bench.
+    let metrics = Metrics::new();
     let mut results: Vec<ScenarioResult> = Vec::new();
     let mut fault_free: Option<ChaosReport> = None;
     let mut diverged = false;
@@ -133,6 +138,14 @@ fn main() -> ExitCode {
             eprintln!("FAIL: non-emptying scenario '{name}' used the checkpoint last resort");
             diverged = true;
         }
+        metrics.set_gauge(&format!("{name}/goodput"), report.goodput_vs(base));
+        metrics.set_gauge(&format!("{name}/sim_time_s"), report.sim_time_s);
+        metrics.inc(&format!("{name}/faults"), report.faults_injected() as u64);
+        metrics.inc(&format!("{name}/recoveries"), report.recoveries as u64);
+        metrics.inc(
+            &format!("{name}/checkpoint_fallbacks"),
+            report.checkpoint_fallbacks as u64,
+        );
         results.push(ScenarioResult {
             scenario: name.to_string(),
             goodput_vs_fault_free: report.goodput_vs(base),
@@ -165,7 +178,16 @@ fn main() -> ExitCode {
         &rows,
     );
 
-    emit(if smoke { "BENCH_chaos_smoke" } else { "BENCH_chaos" }, &results);
+    let metrics_json: serde_json::Value =
+        // vf-lint: allow(panic-ratchet) — registry rendering is self-tested; abort loudly
+        serde_json::from_str(&metrics.to_json()).expect("metrics registry renders valid JSON");
+    emit(
+        if smoke { "BENCH_chaos_smoke" } else { "BENCH_chaos" },
+        &serde_json::json!({
+            "scenarios": results,
+            "metrics": metrics_json,
+        }),
+    );
     if diverged {
         ExitCode::FAILURE
     } else {

@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 use vf_bench::report::{emit, print_table};
+use vf_obs::Metrics;
 use vf_tensor::{conv, gemm, init, pool, Tensor};
 
 /// The seed tree's `ops::matmul` inner loops, verbatim (zero-skip included).
@@ -102,6 +103,10 @@ fn main() {
         pool::num_threads()
     );
 
+    // Headline numbers flow through the shared vf-obs registry so the
+    // emitted JSON carries the same canonical metrics block as every other
+    // harness (and the trace reports).
+    let metrics = Metrics::new();
     let mut rows = Vec::new();
     let mut gemm_json = Vec::new();
     for &s in &[64usize, 128, 256, 512] {
@@ -123,6 +128,13 @@ fn main() {
             format!("{gf_fast:.2}"),
             format!("{:.2}x", gf_fast / gf_naive),
         ]);
+        metrics.set_gauge(&format!("gemm/{s}/fast_gflops"), gf_fast);
+        metrics.set_gauge(&format!("gemm/{s}/speedup"), gf_fast / gf_naive);
+        metrics.observe(
+            "gemm/speedup_hist",
+            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+            gf_fast / gf_naive,
+        );
         gemm_json.push(serde_json::json!({
             "size": s,
             "naive_gflops": gf_naive,
@@ -150,6 +162,8 @@ fn main() {
             format!("{gf_fast:.2}"),
             format!("{:.2}x", gf_fast / gf_naive),
         ]);
+        metrics.set_gauge(&format!("conv/{n}x{c}x{hw}/fast_gflops"), gf_fast);
+        metrics.set_gauge(&format!("conv/{n}x{c}x{hw}/speedup"), gf_fast / gf_naive);
         conv_json.push(serde_json::json!({
             "batch": n, "channels": c, "hw": hw,
             "naive_gflops": gf_naive,
@@ -168,12 +182,23 @@ fn main() {
         "acceptance: 256^3 GEMM must be >= 3x over the seed naive kernel"
     );
 
+    // Pool counters: thread-dependent by nature, which is exactly why they
+    // live in bench-side metrics and never in a trace.
+    let st = pool::stats();
+    metrics.set_gauge("pool/jobs_submitted", st.jobs_submitted as f64);
+    metrics.set_gauge("pool/chunks_executed", st.chunks_executed as f64);
+    metrics.set_gauge("pool/serial_fallbacks", st.serial_fallbacks as f64);
+
+    let metrics_json: serde_json::Value =
+        // vf-lint: allow(panic-ratchet) — registry rendering is self-tested; abort loudly
+        serde_json::from_str(&metrics.to_json()).expect("metrics registry renders valid JSON");
     emit(
         "BENCH_kernels",
         &serde_json::json!({
             "threads": pool::num_threads(),
             "gemm": gemm_json,
             "conv": conv_json,
+            "metrics": metrics_json,
         }),
     );
     println!("wrote results/BENCH_kernels.json");

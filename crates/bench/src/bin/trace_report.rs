@@ -1,0 +1,190 @@
+//! Trace report: export a chaos run as a Chrome trace plus a readable
+//! timeline, and *prove* the export is deterministic while doing it.
+//!
+//! The harness drives one training job through a mild fault plan with the
+//! vf-obs recorder attached, twice — once with the kernel pool chunking
+//! 4 ways, once serial — and exits nonzero unless the two exports are
+//! byte-identical. The surviving trace is written as
+//! `results/TRACE_chaos.json` (Chrome `trace_event` format: load it in
+//! `chrome://tracing` or Perfetto) and `results/TRACE_chaos.txt` (a
+//! per-step human-readable timeline). Headline numbers flow through the
+//! vf-obs [`Metrics`] registry so the summary block shares the schema of
+//! every other `results/*.json`.
+//!
+//! Usage: `trace_report [--smoke]` — `--smoke` shrinks the run for tier-1.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use vf_bench::report::results_dir;
+use vf_comm::chaos::CommFaultModel;
+use vf_core::chaos::{ChaosConfig, ChaosReport, ChaosSupervisor};
+use vf_core::TrainerConfig;
+use vf_data::synthetic::ClusterTask;
+use vf_data::Dataset;
+use vf_device::{DeviceId, FailureModel, FaultPlan, SpotModel};
+use vf_models::trainable::Architecture;
+use vf_models::Mlp;
+use vf_obs::{chrome, ArgValue, Event, Metrics, Phase, Recorder, RingSink};
+use vf_tensor::pool;
+
+const SEED: u64 = 2022;
+
+fn parts() -> (Arc<dyn Architecture>, Arc<Dataset>, TrainerConfig) {
+    // vf-lint: allow(panic-ratchet) — harness setup with fixed valid inputs
+    let dataset = Arc::new(ClusterTask::easy(SEED).generate().expect("generates"));
+    let arch: Arc<dyn Architecture> = Arc::new(Mlp::new(16, vec![8], 4).with_batch_norm());
+    let config = TrainerConfig::simple(8, 64, 0.1, SEED);
+    (arch, dataset, config)
+}
+
+fn devices(range: std::ops::Range<u32>) -> Vec<DeviceId> {
+    range.map(DeviceId).collect()
+}
+
+/// Runs the traced chaos scenario and returns every recorded event plus
+/// the run report.
+fn run_traced(steps: u64) -> (Vec<Event>, ChaosReport) {
+    let (arch, dataset, config) = parts();
+    let plan = FaultPlan::new(SEED)
+        // vf-lint: allow(panic-ratchet) — harness setup with fixed valid inputs
+        .with_crashes(FailureModel::new(250.0, SEED).expect("valid"))
+        // vf-lint: allow(panic-ratchet) — harness setup with fixed valid inputs
+        .with_preemptions(SpotModel::new(400.0, 50.0).expect("valid"));
+    let mut cfg = ChaosConfig::new(plan, steps);
+    cfg.comm = Some(CommFaultModel::new(SEED, 0.03, 0.005, 0.02));
+    cfg.cooldown_s = 90.0;
+    cfg.bootstrap_s = 20.0;
+    let mut sup = ChaosSupervisor::new(
+        arch,
+        dataset,
+        config,
+        &devices(0..4),
+        &devices(8..16),
+        cfg,
+    )
+    // vf-lint: allow(panic-ratchet) — harness aborts loudly on setup failure
+    .expect("supervisor");
+    let sink = Arc::new(RingSink::unbounded());
+    sup.set_recorder(Recorder::with_sink(sink.clone()));
+    // vf-lint: allow(panic-ratchet) — a dead run leaves nothing to report
+    let out = sup.run().expect("scenario survives its fault plan");
+    (sink.events(), out.report)
+}
+
+fn fmt_arg(v: &ArgValue) -> String {
+    match v {
+        ArgValue::U64(x) => x.to_string(),
+        ArgValue::I64(x) => x.to_string(),
+        ArgValue::F64(x) => format!("{x:.4}"),
+        ArgValue::Str(s) => s.clone(),
+    }
+}
+
+/// Renders the human-readable timeline: one line per event, simulated
+/// milliseconds on the left, grouped visually by category.
+fn render_timeline(events: &[Event], report: &ChaosReport) -> String {
+    let mut out = String::new();
+    out.push_str("# vf trace timeline — chaos scenario, simulated time\n");
+    out.push_str(&format!(
+        "# steps={} faults={} recoveries={} checkpoint_fallbacks={}\n",
+        report.steps,
+        report.faults_injected(),
+        report.recoveries,
+        report.checkpoint_fallbacks
+    ));
+    out.push_str("#      time  cat    event\n");
+    for e in events {
+        let ms = e.ts_us as f64 / 1e3;
+        let kind = match e.ph {
+            Phase::Complete => format!("{} [{}us]", e.name, e.dur_us),
+            // vf-lint: allow(ambient-time) — Chrome phase name, not std::time::Instant
+            Phase::Instant => e.name.clone(),
+            Phase::Counter => format!("{} =", e.name),
+        };
+        let args: Vec<String> = e
+            .args
+            .iter()
+            .map(|(k, v)| format!("{k}={}", fmt_arg(v)))
+            .collect();
+        out.push_str(&format!(
+            "{ms:>11.3}  {:<5}  {kind} {}\n",
+            e.cat,
+            args.join(" ")
+        ));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let steps: u64 = if smoke { 80 } else { 300 };
+    println!("== trace report: {steps}-step chaos run, traced ==\n");
+
+    // The determinism gate: chunking 4 ways vs serial must export the
+    // exact same bytes. Anything less means thread state leaked into the
+    // trace, and the report is not worth writing.
+    pool::set_num_threads(4);
+    let (events, report) = run_traced(steps);
+    pool::set_num_threads(1);
+    let (events_serial, _) = run_traced(steps);
+    let jsonl = chrome::render_jsonl(&events);
+    if jsonl != chrome::render_jsonl(&events_serial) {
+        eprintln!("FAIL: trace export differs between 4-way and serial kernel pools");
+        return ExitCode::FAILURE;
+    }
+    println!("determinism: 4-thread and serial exports are byte-identical");
+
+    // Self-validate: the Chrome render must parse as JSON and carry every
+    // event (the renderer is hand-rolled for byte stability, so check it
+    // against a real parser before shipping the file).
+    let trace = chrome::render_trace(&events);
+    let parsed: serde_json::Value = match serde_json::from_str(&trace) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("FAIL: rendered trace is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n_parsed = parsed["traceEvents"].as_array().map_or(0, Vec::len);
+    if n_parsed != events.len() {
+        eprintln!(
+            "FAIL: trace carries {n_parsed} events, recorder saw {}",
+            events.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let dir = results_dir();
+    // vf-lint: allow(panic-ratchet) — harness has nothing to do without its outputs
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let json_path = dir.join("TRACE_chaos.json");
+    // vf-lint: allow(panic-ratchet) — harness has nothing to do without its outputs
+    std::fs::write(&json_path, &trace).expect("write trace json");
+    let txt_path = dir.join("TRACE_chaos.txt");
+    // vf-lint: allow(panic-ratchet) — harness has nothing to do without its outputs
+    std::fs::write(&txt_path, render_timeline(&events, &report)).expect("write timeline");
+
+    // Headline numbers through the shared metrics registry.
+    let m = Metrics::new();
+    m.inc("trace/events", events.len() as u64);
+    for e in &events {
+        match e.cat {
+            "train" => m.inc("trace/events_train", 1),
+            "comm" => m.inc("trace/events_comm", 1),
+            "chaos" => m.inc("trace/events_chaos", 1),
+            _ => m.inc("trace/events_other", 1),
+        }
+    }
+    m.set_gauge("chaos/steps", report.steps as f64);
+    m.set_gauge("chaos/faults", report.faults_injected() as f64);
+    m.set_gauge("chaos/recoveries", report.recoveries as f64);
+    m.set_gauge("chaos/sim_time_s", report.sim_time_s);
+    let st = pool::stats();
+    m.set_gauge("pool/jobs_submitted", st.jobs_submitted as f64);
+    m.set_gauge("pool/chunks_executed", st.chunks_executed as f64);
+    m.set_gauge("pool/serial_fallbacks", st.serial_fallbacks as f64);
+    println!("\nmetrics: {}", m.to_json());
+    println!("\n[wrote {}]", json_path.display());
+    println!("[wrote {}]", txt_path.display());
+    ExitCode::SUCCESS
+}

@@ -21,6 +21,7 @@
 
 use crate::allreduce::{ring_allreduce_time_s, LinkProfile};
 use serde::{Deserialize, Serialize};
+use vf_obs::{Event, Recorder};
 use std::error::Error;
 use std::fmt;
 
@@ -178,6 +179,42 @@ pub fn allreduce_with_recovery(
     link: &LinkProfile,
     max_attempts: u32,
 ) -> Result<CollectiveOutcome, CollectiveExhausted> {
+    allreduce_with_recovery_traced(
+        model,
+        stream,
+        bytes,
+        workers,
+        link,
+        max_attempts,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`allreduce_with_recovery`] with a trace recorder attached.
+///
+/// Emits one `comm` event per failed attempt (timeout/abort, with the
+/// attempt index and ring size) and a final `allreduce` span covering the
+/// whole priced duration. Timestamps are offsets from the recorder's
+/// simulated clock plus the simulated time already charged to this
+/// collective — no wall clock is read, so the event stream is a pure
+/// function of `(model, stream, bytes, workers, link)`. The recorder's
+/// clock itself is *not* advanced; the caller owns clock progression.
+///
+/// # Errors
+///
+/// Same as [`allreduce_with_recovery`].
+#[allow(clippy::too_many_arguments)]
+pub fn allreduce_with_recovery_traced(
+    model: &CommFaultModel,
+    stream: u64,
+    bytes: u64,
+    workers: usize,
+    link: &LinkProfile,
+    max_attempts: u32,
+    obs: &Recorder,
+) -> Result<CollectiveOutcome, CollectiveExhausted> {
+    let base_us = obs.now_us();
+    let charged_us = |t_s: f64| (t_s * 1e6).round() as u64;
     let mut outcome = CollectiveOutcome {
         time_s: 0.0,
         attempts: 0,
@@ -186,6 +223,17 @@ pub fn allreduce_with_recovery(
         stragglers: 0,
         final_workers: workers.max(1),
     };
+    // The successful collective renders as one `comm` span over the whole
+    // priced duration (retries included); each failed attempt leaves an
+    // instant marker inside it.
+    let finish = |outcome: &CollectiveOutcome| {
+        obs.record_with(|| {
+            Event::complete("allreduce", "comm", base_us, charged_us(outcome.time_s).max(1))
+                .with_arg("bytes", bytes)
+                .with_arg("ring", outcome.final_workers)
+                .with_arg("attempts", outcome.attempts)
+        });
+    };
     let mut ring = workers.max(1);
     while outcome.attempts < max_attempts {
         let attempt = outcome.attempts;
@@ -193,12 +241,14 @@ pub fn allreduce_with_recovery(
         // A single worker has nothing to synchronize and nothing to lose.
         if ring <= 1 {
             outcome.final_workers = ring;
+            finish(&outcome);
             return Ok(outcome);
         }
         match model.draw(stream, attempt) {
             AttemptFault::None => {
                 outcome.time_s += ring_allreduce_time_s(bytes, ring, link);
                 outcome.final_workers = ring;
+                finish(&outcome);
                 return Ok(outcome);
             }
             AttemptFault::Straggler => {
@@ -209,11 +259,22 @@ pub fn allreduce_with_recovery(
                 outcome.time_s += ring_allreduce_time_s(bytes, ring, &slow);
                 outcome.stragglers += 1;
                 outcome.final_workers = ring;
+                obs.record_with(|| {
+                    Event::instant("allreduce/straggler", "comm", base_us + charged_us(outcome.time_s))
+                        .with_arg("attempt", attempt)
+                        .with_arg("ring", ring)
+                });
+                finish(&outcome);
                 return Ok(outcome);
             }
             AttemptFault::Timeout => {
                 outcome.time_s += model.timeout_s;
                 outcome.timeouts += 1;
+                obs.record_with(|| {
+                    Event::instant("allreduce/timeout", "comm", base_us + charged_us(outcome.time_s))
+                        .with_arg("attempt", attempt)
+                        .with_arg("ring", ring)
+                });
             }
             AttemptFault::Abort => {
                 // Half a pass elapses before the death is detected, then
@@ -222,9 +283,18 @@ pub fn allreduce_with_recovery(
                 ring -= 1;
                 outcome.time_s += ring_reform_time_s(ring, link);
                 outcome.aborts += 1;
+                obs.record_with(|| {
+                    Event::instant("allreduce/abort", "comm", base_us + charged_us(outcome.time_s))
+                        .with_arg("attempt", attempt)
+                        .with_arg("ring", ring)
+                });
             }
         }
     }
+    obs.record_with(|| {
+        Event::instant("allreduce/exhausted", "comm", base_us + charged_us(outcome.time_s))
+            .with_arg("attempts", outcome.attempts)
+    });
     Err(CollectiveExhausted { attempts: outcome.attempts })
 }
 
@@ -326,6 +396,31 @@ mod tests {
         // unclamped; success at ring=1 short-circuits instead.
         let o = allreduce_with_recovery(&m, 0, 1 << 20, 3, &link(), 64).unwrap();
         assert!(o.final_workers >= 1);
+    }
+
+    #[test]
+    fn traced_collective_emits_a_span_and_attempt_markers() {
+        use std::sync::Arc;
+        use vf_obs::RingSink;
+
+        let trace_of = |seed: u64| {
+            let m = CommFaultModel::new(seed, 0.3, 0.2, 0.1);
+            let ring = Arc::new(RingSink::unbounded());
+            let obs = Recorder::with_sink(ring.clone());
+            for stream in 0..16 {
+                let _ = allreduce_with_recovery_traced(&m, stream, 1 << 20, 8, &link(), 16, &obs);
+            }
+            vf_obs::chrome::render_jsonl(&ring.events())
+        };
+        let t = trace_of(9);
+        assert!(t.contains("\"allreduce\""), "success spans are recorded");
+        assert_eq!(t, trace_of(9), "the comm trace is a pure function of its inputs");
+
+        // The untraced wrapper and the traced path agree numerically.
+        let m = CommFaultModel::new(9, 0.3, 0.2, 0.1);
+        let a = allreduce_with_recovery(&m, 3, 1 << 20, 8, &link(), 16);
+        let b = allreduce_with_recovery_traced(&m, 3, 1 << 20, 8, &link(), 16, &Recorder::disabled());
+        assert_eq!(a, b);
     }
 
     #[test]

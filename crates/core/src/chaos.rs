@@ -39,12 +39,13 @@ use crate::{CoreError, TrainerConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
-use vf_comm::chaos::{allreduce_with_recovery, ring_reform_time_s, CommFaultModel};
+use vf_comm::chaos::{allreduce_with_recovery_traced, ring_reform_time_s, CommFaultModel};
 use vf_comm::membership::{ElasticGroup, WorkerId};
 use vf_comm::LinkProfile;
 use vf_data::Dataset;
 use vf_device::{Backoff, BackoffPolicy, DeviceId, FaultKind, FaultPlan, PlannedFault, SimClock};
 use vf_models::trainable::Architecture;
+use vf_obs::{Event, Recorder};
 
 /// Stream tag for recovery-attempt draws inside the fault plan's seed
 /// space (distinct from any device id stream).
@@ -164,11 +165,16 @@ impl ChaosReport {
 
     /// Goodput of this run relative to a fault-free run of the same job:
     /// `fault_free_time / this_time`, in `(0, 1]` when faults cost time.
+    ///
+    /// Always finite: a zero-step baseline (both times zero), a zero-time
+    /// divisor, or non-finite inputs all pin to `1.0` — "no measurable
+    /// slowdown" — rather than leaking NaN/∞ into reports.
     pub fn goodput_vs(&self, fault_free: &ChaosReport) -> f64 {
-        if self.sim_time_s <= 0.0 {
+        let (baseline, actual) = (fault_free.sim_time_s, self.sim_time_s);
+        if !baseline.is_finite() || !actual.is_finite() || actual <= 0.0 {
             1.0
         } else {
-            fault_free.sim_time_s / self.sim_time_s
+            (baseline / actual).max(0.0)
         }
     }
 }
@@ -200,6 +206,7 @@ pub struct ChaosSupervisor {
     param_bytes: u64,
     recovery_draws: u64,
     report: ChaosReport,
+    obs: Recorder,
 }
 
 impl ChaosSupervisor {
@@ -244,8 +251,19 @@ impl ChaosSupervisor {
             param_bytes,
             recovery_draws: 0,
             report,
+            obs: Recorder::disabled(),
             cfg,
         })
+    }
+
+    /// Attaches a trace recorder to the supervisor *and* its trainer.
+    ///
+    /// All chaos events are emitted from the supervisor's single control
+    /// loop, timestamped on the supervisor's [`SimClock`] — so the trace is
+    /// bit-identical across thread counts and repeat runs.
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.trainer.set_recorder(obs.clone());
+        self.obs = obs;
     }
 
     /// Runs the job to the configured step count, surviving the fault plan.
@@ -259,6 +277,10 @@ impl ChaosSupervisor {
     pub fn run(mut self) -> Result<ChaosOutcome, CoreError> {
         while self.trainer.steps_done() < self.cfg.steps {
             let now = self.clock.now();
+            // Push simulated time into the recorder so every event this
+            // iteration emits (chaos, comm, and trainer alike — they share
+            // one recorder) is stamped with SimClock time.
+            self.obs.set_time_s(now);
             self.promote_cooled(now);
             self.admit_ready(now)?;
             self.fire_due_events()?;
@@ -314,6 +336,11 @@ impl ChaosSupervisor {
             devs.sort_unstable();
             self.trainer.resize(&devs)?;
             self.report.rejoins += admitted;
+            self.obs.record_with(|| {
+                Event::instant("rejoin", "chaos", self.obs.now_us())
+                    .with_arg("admitted", admitted)
+                    .with_arg("fleet", devs.len())
+            });
             // Joining workers fetch parameters from a healthy peer; the
             // group itself only pays the ring-reform barrier.
             self.clock
@@ -338,6 +365,10 @@ impl ChaosSupervisor {
                     self.drop_bootstrapping_victims(&event.devices, event.at_s);
                     if !victims.is_empty() {
                         self.report.crashes += victims.len();
+                        self.obs.record_with(|| {
+                            Event::instant("fault/crash", "chaos", self.obs.now_us())
+                                .with_arg("victims", victims.len())
+                        });
                         self.recover_from_deaths(&victims, event.at_s)?;
                     }
                 }
@@ -346,6 +377,10 @@ impl ChaosSupervisor {
                     self.drop_bootstrapping_victims(&event.devices, event.at_s);
                     if !victims.is_empty() {
                         self.report.rack_device_failures += victims.len();
+                        self.obs.record_with(|| {
+                            Event::instant("fault/rack", "chaos", self.obs.now_us())
+                                .with_arg("victims", victims.len())
+                        });
                         self.recover_from_deaths(&victims, event.at_s)?;
                     }
                 }
@@ -388,6 +423,10 @@ impl ChaosSupervisor {
             return Ok(());
         };
         self.report.preemptions += 1;
+        self.obs.record_with(|| {
+            Event::instant("fault/preemption", "chaos", self.obs.now_us())
+                .with_arg("device", u64::from(victim.0))
+        });
         if self.trainer.mapping().num_devices() > 1 {
             // Graceful drain: the device donates its virtual nodes and
             // stateful kernels while still alive — nothing is lost, no
@@ -405,6 +444,11 @@ impl ChaosSupervisor {
             self.report.drained += 1;
             self.clock
                 .advance(ring_reform_time_s(survivors.len(), &self.cfg.link));
+            self.obs.record_with(|| {
+                Event::instant("drain", "chaos", self.obs.now_us())
+                    .with_arg("device", u64::from(victim.0))
+                    .with_arg("fleet", survivors.len())
+            });
         } else {
             // Cannot drain the last device; it will die at reclaim time.
             self.report.crashes += 1; // counted as the crash it becomes
@@ -452,6 +496,11 @@ impl ChaosSupervisor {
                 self.clock.advance(delay);
                 self.report.recovery_retries += 1;
                 self.report.backoff_total_s += delay;
+                self.obs.record_with(|| {
+                    Event::instant("recovery/retry", "chaos", self.obs.now_us())
+                        .with_arg("attempt", backoff.attempts())
+                        .with_arg("delay_s", delay)
+                });
                 continue;
             }
             return match fail_devices(&mut self.trainer, victims, &[]) {
@@ -461,6 +510,10 @@ impl ChaosSupervisor {
                         recovery.survivors.len(),
                         &self.cfg.link,
                     ));
+                    self.obs.record_with(|| {
+                        Event::instant("recovery", "chaos", self.obs.now_us())
+                            .with_arg("survivors", recovery.survivors.len())
+                    });
                     Ok(())
                 }
                 // Every device died at once: the elastic path has nothing
@@ -511,8 +564,17 @@ impl ChaosSupervisor {
             self.last_checkpoint.clone(),
             &fleet,
         )?;
+        // The rebuilt trainer starts with a disabled recorder; re-attach
+        // ours so the replayed steps keep tracing.
+        self.trainer.set_recorder(self.obs.clone());
         self.group = ElasticGroup::new(fleet.iter().map(|d| WorkerId(d.0)));
         self.clock.advance(self.cfg.restore_s);
+        self.obs.record_with(|| {
+            Event::instant("checkpoint/restore", "chaos", self.obs.now_us())
+                .with_arg("from_step", self.last_checkpoint.step)
+                .with_arg("replayed", lost)
+                .with_arg("fleet", fleet.len())
+        });
         Ok(())
     }
 
@@ -534,17 +596,23 @@ impl ChaosSupervisor {
     /// One training step: waves of compute, then the (possibly faulty)
     /// gradient all-reduce, all charged to the simulated clock.
     fn execute_step(&mut self) -> Result<(), CoreError> {
+        // Faults handled this iteration advanced the clock past the loop's
+        // snapshot; re-sync so step and comm events are stamped correctly.
+        self.obs.set_time_s(self.clock.now());
         let workers = self.trainer.mapping().num_devices();
         let waves = self.trainer.mapping().waves();
+        self.obs
+            .record_with(|| Event::counter("chaos/fleet", "chaos", self.obs.now_us(), workers));
         let mut elapsed = self.cfg.compute_s_per_wave * waves as f64;
         if let Some(comm) = &self.cfg.comm {
-            let outcome = allreduce_with_recovery(
+            let outcome = allreduce_with_recovery_traced(
                 comm,
                 self.trainer.steps_done(),
                 self.param_bytes,
                 workers,
                 &self.cfg.link,
                 self.cfg.max_collective_attempts,
+                &self.obs,
             )
             .map_err(|e| CoreError::CommPartitioned { attempts: e.attempts })?;
             elapsed += outcome.time_s;
@@ -573,6 +641,10 @@ impl ChaosSupervisor {
                 .is_multiple_of(self.cfg.checkpoint_every)
         {
             self.last_checkpoint = self.trainer.to_checkpoint();
+            self.obs.record_with(|| {
+                Event::instant("checkpoint/save", "chaos", self.obs.now_us())
+                    .with_arg("step", self.last_checkpoint.step)
+            });
         }
     }
 }
@@ -787,6 +859,26 @@ mod tests {
             }
         };
         assert!(matches!(err, CoreError::FleetExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn goodput_is_always_finite() {
+        let zero = ChaosReport::default();
+        // Zero-step baseline against a zero-step run: no slowdown measured.
+        assert_eq!(zero.goodput_vs(&zero), 1.0);
+        let with_time = |t: f64| ChaosReport {
+            sim_time_s: t,
+            ..ChaosReport::default()
+        };
+        let ran = with_time(100.0);
+        let baseline = with_time(80.0);
+        assert_eq!(ran.goodput_vs(&baseline), 0.8);
+        // A zero-time baseline against a real run: goodput 0, not NaN.
+        assert_eq!(ran.goodput_vs(&zero), 0.0);
+        // Non-finite inputs pin to 1.0 instead of propagating.
+        assert_eq!(with_time(f64::NAN).goodput_vs(&baseline), 1.0);
+        assert_eq!(ran.goodput_vs(&with_time(f64::NAN)), 1.0);
+        assert_eq!(with_time(f64::INFINITY).goodput_vs(&baseline), 1.0);
     }
 
     #[test]

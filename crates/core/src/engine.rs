@@ -31,6 +31,7 @@ use vf_data::partitioned::PartitionedPlan;
 use vf_data::{Dataset, DistributionMode};
 use vf_device::DeviceId;
 use vf_models::trainable::{Architecture, EvalReport, StatefulState};
+use vf_obs::{Event, Recorder};
 use vf_tensor::ops::clip_global_norm;
 use vf_tensor::optim::Optimizer;
 use vf_tensor::reduce;
@@ -123,6 +124,7 @@ pub struct Trainer {
     replicas: BTreeMap<DeviceId, StatefulState>,
     step: u64,
     ledger: Option<VisitLedger>,
+    obs: Recorder,
 }
 
 impl Trainer {
@@ -185,7 +187,21 @@ impl Trainer {
             replicas,
             step: 0,
             ledger,
+            obs: Recorder::disabled(),
         })
+    }
+
+    /// Attaches a trace recorder. Spans and counters are emitted only from
+    /// the coordinating thread, in virtual node order, with timestamps on
+    /// the recorder's simulated clock — so the trace is bit-identical
+    /// across `VF_NUM_THREADS` settings and repeat runs.
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
+    }
+
+    /// The attached trace recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// The current model parameters.
@@ -327,8 +343,58 @@ impl Trainer {
             lr,
             waves: self.mapping.waves(),
         };
+        self.trace_step(&report, &vn_losses);
         self.step += 1;
         Ok(report)
+    }
+
+    /// Emits the per-step trace: one span per virtual node (in VN order, on
+    /// its own logical `tid`), an aggregate span, and loss/lr/fleet
+    /// counters. Runs only on the coordinating thread, *after* all device
+    /// tasks have joined, so event order is a pure function of the logical
+    /// step — never of pool scheduling. Timestamps are offsets on the
+    /// recorder's simulated clock; each step advances it by a fixed logical
+    /// width so a bare trainer (no outer SimClock driver) still produces a
+    /// strictly ordered timeline.
+    fn trace_step(&self, report: &StepReport, vn_losses: &[f32]) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let base = self.obs.now_us();
+        let total_vns = vn_losses.len();
+        for (vn, &loss) in vn_losses.iter().enumerate() {
+            self.obs.emit(
+                Event::complete(format!("vn{vn}/grad"), "train", base + vn as u64, 1)
+                    .with_tid(vn as u32 + 1)
+                    .with_arg("step", report.step)
+                    .with_arg("loss", loss),
+            );
+        }
+        let agg_ts = base + total_vns as u64;
+        let param_bytes: usize = self.params.iter().map(Tensor::size_bytes).sum();
+        self.obs.emit(
+            Event::complete("aggregate", "train", agg_ts, 4)
+                .with_arg("step", report.step)
+                .with_arg("waves", report.waves)
+                .with_arg("param_bytes", param_bytes),
+        );
+        self.obs
+            .emit(Event::counter("train/loss", "train", agg_ts, f64::from(report.loss)));
+        self.obs
+            .emit(Event::counter("train/lr", "train", agg_ts, f64::from(report.lr)));
+        self.obs.emit(Event::counter(
+            "train/devices",
+            "train",
+            agg_ts,
+            self.mapping.num_devices(),
+        ));
+        self.obs.emit(Event::counter(
+            "train/param_bytes",
+            "train",
+            agg_ts,
+            param_bytes,
+        ));
+        self.obs.advance_us(total_vns as u64 + 8);
     }
 
     /// Runs `n` consecutive steps, returning the last report.
@@ -416,6 +482,12 @@ impl Trainer {
         }
         self.replicas = new_replicas;
         self.mapping = new_mapping;
+        self.obs.record_with(|| {
+            Event::instant("resize", "train", self.obs.now_us())
+                .with_arg("devices", self.mapping.num_devices())
+                .with_arg("moves", plan.moves.len())
+                .with_arg("step", self.step)
+        });
         Ok(plan)
     }
 

@@ -25,6 +25,7 @@ pub const RULE_IDS: &[&str] = &[
     "hash-iteration",
     "ambient-time",
     "ad-hoc-thread",
+    "stray-print",
     "registry-dep",
     "panic-ratchet",
     "bad-suppression",
@@ -44,6 +45,15 @@ const AMBIENT_TIME_ALLOWED: &[&str] = &["crates/bench/"];
 /// All other parallelism must be expressed as pool jobs, which the
 /// pool-race sanitizer can audit for overlapping output regions.
 const AD_HOC_THREAD_ALLOWED: &[&str] = &["crates/tensor/src/pool.rs"];
+
+/// Paths where direct stdout/stderr output is the job: the bench binaries
+/// print their reports, and the lint binary prints its findings. Library
+/// crates must route observable output through `vf_obs` sinks instead, so
+/// runs stay quiet by default and traces stay deterministic.
+const STRAY_PRINT_ALLOWED: &[&str] = &["crates/bench/", "crates/lint/"];
+
+/// Macros the `stray-print` rule forbids in library code.
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
 
 /// Identifiers whose presence in non-test library code violates
 /// `hash-iteration`: these collections iterate in hash order, which is
@@ -97,6 +107,7 @@ pub fn check_source(path: &str, src: &str) -> FileReport {
          vf_device::SimClock (only crates/bench may measure real time)",
     );
     check_thread_spawn(path, &lexed, &sups, &mut report);
+    check_stray_print(path, &lexed, &sups, &mut report);
     count_panic_sites(&lexed, &sups, &mut report);
 
     report.diagnostics.append(&mut diagnostics);
@@ -177,6 +188,43 @@ fn check_thread_spawn(
             toks[i].line,
             "thread spawned outside vf_tensor::pool; route parallel work \
              through the pool so the race sanitizer can audit it",
+        ));
+    }
+}
+
+/// Flags `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in non-test
+/// library code: ad-hoc prints bypass the `vf_obs` sinks (losing the
+/// events from exported traces) and leave debug noise in callers' stdout.
+fn check_stray_print(
+    path: &str,
+    lexed: &LexedFile,
+    sups: &[Suppression],
+    report: &mut FileReport,
+) {
+    if allowed(path, STRAY_PRINT_ALLOWED) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if !PRINT_MACROS.contains(&toks[i].text.as_str())
+            || toks.get(i + 1).map(|t| t.text.as_str()) != Some("!")
+            || lexed.is_test_line(toks[i].line)
+        {
+            continue;
+        }
+        if suppress::is_suppressed(sups, "stray-print", toks[i].line) {
+            report.waived += 1;
+            continue;
+        }
+        report.diagnostics.push(Diagnostic::error(
+            "stray-print",
+            path,
+            toks[i].line,
+            format!(
+                "`{}!` in library code; route output through vf_obs sinks \
+                 (prints belong only in crates/bench and crates/lint binaries)",
+                toks[i].text
+            ),
         ));
     }
 }
@@ -330,6 +378,37 @@ mod tests {
     #[test]
     fn spawn_is_allowed_in_pool() {
         let r = check_source("crates/tensor/src/pool.rs", "builder.spawn(f);\n");
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn println_in_library_code_is_flagged() {
+        let r = check_source("crates/core/src/engine.rs", "println!(\"step {s}\");\n");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "stray-print");
+        let r = check_source("crates/comm/src/lib.rs", "let x = dbg!(compute());\n");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "stray-print");
+    }
+
+    #[test]
+    fn println_is_allowed_in_bench_lint_and_tests() {
+        let src = "println!(\"report\");\n";
+        assert!(check_source("crates/bench/src/bin/b.rs", src).diagnostics.is_empty());
+        assert!(check_source("crates/lint/src/main.rs", src).diagnostics.is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"dbg\"); }\n}\n";
+        assert!(check_source("crates/core/src/x.rs", test_src).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn suppressed_print_is_waived_and_idents_without_bang_are_fine() {
+        let src = "// vf-lint: allow(stray-print) — CLI surface documented in DESIGN.md\n\
+                   fn f() { println!(\"allowed\"); }\n";
+        let r = check_source("crates/core/src/x.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.waived, 1);
+        // A function *named* println (no `!`) is not the macro.
+        let r = check_source("crates/core/src/x.rs", "fn println_like() { println_like_call(); }\n");
         assert!(r.diagnostics.is_empty());
     }
 

@@ -131,6 +131,45 @@ fn ad_hoc_thread_fires_outside_the_pool() {
 }
 
 #[test]
+fn stray_print_fires_in_library_code() {
+    let fx = Fixture::new(
+        "pub fn f() { println!(\"dbg\"); }\n\
+         pub fn g(x: u32) -> u32 { dbg!(x) }\n",
+    );
+    let errs = fx.errors("stray-print");
+    assert_eq!(errs.len(), 2, "{errs:?}");
+    assert_eq!(errs[0], ("crates/foo/src/lib.rs".to_string(), 1));
+    assert_eq!(errs[1], ("crates/foo/src/lib.rs".to_string(), 2));
+}
+
+#[test]
+fn stray_print_allows_bench_tests_and_suppressions() {
+    let fx = Fixture::new(
+        "pub fn f() {}\n\
+         pub fn g() {\n\
+             // vf-lint: allow(stray-print) — operator-facing banner\n\
+             eprintln!(\"boot\");\n\
+         }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             #[test]\n\
+             fn t() { println!(\"test output is fine\"); }\n\
+         }\n",
+    );
+    fx.write(
+        "crates/bench/Cargo.toml",
+        "[package]\nname = \"bench\"\nversion = \"0.1.0\"\n",
+    );
+    fx.write(
+        "crates/bench/src/main.rs",
+        "fn main() { println!(\"headline: 1.0\"); }\n",
+    );
+    assert!(fx.errors("stray-print").is_empty());
+    let outcome = audit(fx.root()).unwrap();
+    assert_eq!(outcome.waived, 1);
+}
+
+#[test]
 fn registry_dep_fires_on_version_only_dependency() {
     let fx = Fixture::new("pub fn f() {}\n");
     fx.write(

@@ -1,0 +1,160 @@
+//! Rendering events to Chrome `trace_event` JSON.
+//!
+//! Output is deliberately canonical — fixed key order, compact separators,
+//! shortest-roundtrip float formatting, `\u` escapes only where JSON
+//! requires them — so that two runs producing the same events produce
+//! byte-identical text. The trace determinism tests rely on this.
+//!
+//! Two renderings are offered: [`render_jsonl`] (one event object per
+//! line, handy for diffing and streaming) and [`render_trace`] (the
+//! `{"traceEvents": [...]}` object format `chrome://tracing` and Perfetto
+//! load directly).
+
+use crate::event::{ArgValue, Event};
+
+/// Escapes `s` into `out` as JSON string contents (no surrounding quotes).
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes an [`ArgValue`] as a JSON value. Non-finite floats become
+/// `null` — JSON has no NaN/∞, and a gap is more honest than a guess.
+fn value_into(v: &ArgValue, out: &mut String) {
+    match v {
+        ArgValue::U64(n) => out.push_str(&n.to_string()),
+        ArgValue::I64(n) => out.push_str(&n.to_string()),
+        ArgValue::F64(x) if x.is_finite() => out.push_str(&x.to_string()),
+        ArgValue::F64(_) => out.push_str("null"),
+        ArgValue::Str(s) => {
+            out.push('"');
+            escape_into(s, out);
+            out.push('"');
+        }
+    }
+}
+
+/// Renders one event as a compact Chrome `trace_event` JSON object.
+pub fn render_event(e: &Event) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"name\":\"");
+    escape_into(&e.name, &mut out);
+    out.push_str("\",\"cat\":\"");
+    escape_into(e.cat, &mut out);
+    out.push_str("\",\"ph\":\"");
+    out.push_str(e.ph.code());
+    out.push_str("\",\"ts\":");
+    out.push_str(&e.ts_us.to_string());
+    if e.ph == crate::Phase::Complete {
+        out.push_str(",\"dur\":");
+        out.push_str(&e.dur_us.to_string());
+    }
+    out.push_str(",\"pid\":");
+    out.push_str(&e.pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&e.tid.to_string());
+    if !e.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(k, &mut out);
+            out.push_str("\":");
+            value_into(v, &mut out);
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// Renders events as JSONL: one canonical JSON object per line, in event
+/// order, with a trailing newline after the last line (empty input renders
+/// to the empty string).
+pub fn render_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&render_event(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders events as the Chrome trace *object format*:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+pub fn render_trace(events: &[Event]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&render_event(e));
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_fixed_key_order_and_phases() {
+        let e = Event::complete("gemm", "train", 10, 5).with_tid(2).with_arg("m", 64u64);
+        assert_eq!(
+            render_event(&e),
+            r#"{"name":"gemm","cat":"train","ph":"X","ts":10,"dur":5,"pid":1,"tid":2,"args":{"m":64}}"#
+        );
+        let i = Event::instant("fault/crash", "chaos", 3);
+        assert_eq!(
+            render_event(&i),
+            r#"{"name":"fault/crash","cat":"chaos","ph":"i","ts":3,"pid":1,"tid":0}"#
+        );
+    }
+
+    #[test]
+    fn escapes_and_nulls() {
+        let e = Event::instant("a\"b\\c\nd", "train", 0).with_arg("x", f64::NAN);
+        let s = render_event(&e);
+        // The line must parse as JSON despite the hostile name.
+        assert_eq!(
+            s,
+            r#"{"name":"a\"b\\c\nd","cat":"train","ph":"i","ts":0,"pid":1,"tid":0,"args":{"x":null}}"#
+        );
+    }
+
+    #[test]
+    fn float_rendering_is_shortest_roundtrip() {
+        let e = Event::counter("loss", "train", 0, 0.1f64);
+        assert!(render_event(&e).contains("\"value\":0.1"));
+        let e = Event::counter("loss", "train", 0, 2.0f64);
+        assert!(render_event(&e).contains("\"value\":2"));
+    }
+
+    #[test]
+    fn trace_object_wraps_jsonl_lines() {
+        let events = vec![
+            Event::instant("a", "sched", 0),
+            Event::counter("q", "sched", 1, 4u64),
+        ];
+        let trace = render_trace(&events);
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+        let jsonl = render_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert_eq!(render_jsonl(&[]), "");
+    }
+}

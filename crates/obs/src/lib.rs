@@ -1,0 +1,58 @@
+//! # vf-obs
+//!
+//! The observability spine of the workspace: structured span/event tracing
+//! plus a metrics registry, both **deterministic by construction**.
+//!
+//! The paper's entire evaluation is timeline-shaped — per-step memory
+//! footprints (Fig 6), update throughput (Fig 9), elastic resize and JCT
+//! traces (Figs 12–14) — and TensorFlow itself treats tracing/visualization
+//! (TensorBoard, per-op timelines) as a first-class subsystem. This crate
+//! gives the Rust stack the equivalent, with one crucial twist: every
+//! timestamp is **simulated time** (`vf_device::SimClock` seconds or step
+//! indices), never wall clock, so an exported trace is a pure function of
+//! the run's inputs. That makes the trace itself a determinism oracle: the
+//! integration suite exports the same chaos run under different
+//! `VF_NUM_THREADS` settings and asserts the JSONL is *byte-identical*.
+//!
+//! Pieces:
+//!
+//! * [`Event`] — one trace event in Chrome `trace_event` shape (complete
+//!   span, instant, or counter sample) with typed args.
+//! * [`Sink`] — where events go: [`NullSink`] (drop), [`RingSink`]
+//!   (bounded in-memory buffer), [`JsonlSink`] (streaming JSONL writer).
+//! * [`Recorder`] — the cheap cloneable handle instrumented code holds. A
+//!   disabled recorder is a `None`: emission sites gate on
+//!   [`Recorder::is_enabled`] (or use [`Recorder::record_with`]) so the
+//!   hot path neither formats names nor allocates events when tracing is
+//!   off.
+//! * [`Metrics`] — a `BTreeMap`-backed registry of counters, gauges, and
+//!   fixed-bucket histograms whose JSON rendering is deterministic, shared
+//!   by the bench harnesses so `results/BENCH_*.json` and traces speak one
+//!   schema.
+//! * [`chrome`] — renders events to Chrome `trace_event` JSONL / JSON.
+//!
+//! Determinism rules instrumented code must follow (audited by the trace
+//! determinism tests and documented in DESIGN.md §12):
+//!
+//! 1. events are emitted only from a step's *coordinating* thread, in a
+//!    fixed logical order (virtual-node order, event-queue order) — worker
+//!    threads never write to sinks;
+//! 2. timestamps come from [`SimClock`](Recorder::set_time_s) or logical
+//!    step offsets, never `Instant`/`SystemTime` (the `ambient-time` lint
+//!    enforces this workspace-wide);
+//! 3. anything that legitimately varies with physical parallelism (e.g.
+//!    worker-pool chunk counts) belongs in bench-side [`Metrics`], never in
+//!    the trace.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+mod event;
+mod metrics;
+mod recorder;
+mod sink;
+
+pub use event::{ArgValue, Event, Phase};
+pub use metrics::{Histogram, Metric, Metrics};
+pub use recorder::Recorder;
+pub use sink::{JsonlSink, NullSink, RingSink, Sink};

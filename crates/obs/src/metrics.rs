@@ -1,0 +1,287 @@
+//! A deterministic metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Everything is `BTreeMap`-backed (the workspace's `hash-iteration` lint
+//! forbids hash-ordered collections in library code), so snapshots and the
+//! JSON rendering enumerate series in one canonical order. The bench
+//! harnesses route their headline numbers through a registry so
+//! `results/BENCH_*.json` files and traces share one schema.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+/// A fixed-bucket histogram: `counts[i]` holds observations `<= bounds[i]`,
+/// with one overflow bucket at the end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bucket bounds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; `len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values (non-finite observations excluded).
+    pub sum: f64,
+    /// Total observations, including non-finite ones.
+    pub total: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.total += 1;
+        if !v.is_finite() {
+            // Non-finite values count toward `total` but stay out of the
+            // buckets and the sum, keeping every exported number finite
+            // (so `total - counts.sum()` is the non-finite count).
+            return;
+        }
+        self.sum += v;
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Mean of the finite observations, or 0 when none were recorded.
+    pub fn mean(&self) -> f64 {
+        let finite: u64 = self.counts.iter().sum();
+        if finite == 0 {
+            0.0
+        } else {
+            self.sum / finite as f64
+        }
+    }
+}
+
+/// One metric series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A last-value-wins sample.
+    Gauge(f64),
+    /// A fixed-bucket distribution.
+    Histogram(Histogram),
+}
+
+/// A thread-safe registry of named metrics.
+///
+/// # Examples
+///
+/// ```
+/// use vf_obs::Metrics;
+///
+/// let m = Metrics::new();
+/// m.inc("steps", 3);
+/// m.set_gauge("gemm.256.fast_gflops", 12.5);
+/// m.observe("speedup", &[1.0, 2.0, 4.0, 8.0], 5.3);
+/// assert!(m.to_json().contains("\"steps\""));
+/// ```
+#[derive(Debug, Default)]
+pub struct Metrics {
+    series: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut BTreeMap<String, Metric>) -> R) -> R {
+        let mut map = self.series.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut map)
+    }
+
+    /// Adds `delta` to counter `name` (created at zero). If `name` exists
+    /// with a different type it is replaced — last writer wins, loudly
+    /// visible in the snapshot rather than silently dropped.
+    pub fn inc(&self, name: &str, delta: u64) {
+        self.with(|map| {
+            match map.get_mut(name) {
+                Some(Metric::Counter(c)) => *c += delta,
+                _ => {
+                    map.insert(name.to_string(), Metric::Counter(delta));
+                }
+            };
+        });
+    }
+
+    /// Sets gauge `name` to `value` (last value wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.with(|map| {
+            map.insert(name.to_string(), Metric::Gauge(value));
+        });
+    }
+
+    /// Observes `value` into histogram `name` with the given bucket
+    /// `bounds` (used on first touch; later calls reuse the existing
+    /// buckets).
+    pub fn observe(&self, name: &str, bounds: &[f64], value: f64) {
+        self.with(|map| {
+            let metric = map
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)));
+            match metric {
+                Metric::Histogram(h) => h.observe(value),
+                other => {
+                    let mut h = Histogram::new(bounds);
+                    h.observe(value);
+                    *other = Metric::Histogram(h);
+                }
+            }
+        });
+    }
+
+    /// A point-in-time copy of every series, in name order.
+    pub fn snapshot(&self) -> BTreeMap<String, Metric> {
+        self.with(|map| map.clone())
+    }
+
+    /// Renders the registry as a canonical JSON object:
+    /// `{"name": {"type": "...", ...}, ...}` in name order. Non-finite
+    /// gauge values render as `null`.
+    pub fn to_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::from("{");
+        for (i, (name, metric)) in snap.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(name, &mut out);
+            out.push_str("\":");
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str("{\"type\":\"counter\",\"value\":");
+                    out.push_str(&c.to_string());
+                    out.push('}');
+                }
+                Metric::Gauge(g) => {
+                    out.push_str("{\"type\":\"gauge\",\"value\":");
+                    push_f64(*g, &mut out);
+                    out.push('}');
+                }
+                Metric::Histogram(h) => {
+                    out.push_str("{\"type\":\"histogram\",\"bounds\":[");
+                    for (j, b) in h.bounds.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        push_f64(*b, &mut out);
+                    }
+                    out.push_str("],\"counts\":[");
+                    for (j, c) in h.counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&c.to_string());
+                    }
+                    out.push_str("],\"sum\":");
+                    push_f64(h.sum, &mut out);
+                    out.push_str(",\"total\":");
+                    out.push_str(&h.total.to_string());
+                    out.push('}');
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&v.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let m = Metrics::new();
+        m.inc("steps", 2);
+        m.inc("steps", 3);
+        m.set_gauge("loss", 0.5);
+        m.set_gauge("loss", 0.25);
+        let snap = m.snapshot();
+        assert_eq!(snap["steps"], Metric::Counter(5));
+        assert_eq!(snap["loss"], Metric::Gauge(0.25));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let m = Metrics::new();
+        let bounds = [1.0, 2.0, 4.0];
+        for v in [0.5, 1.5, 3.0, 100.0, f64::NAN] {
+            m.observe("h", &bounds, v);
+        }
+        let Metric::Histogram(h) = m.snapshot().remove("h").unwrap() else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.counts, vec![1, 1, 1, 1]); // NaN is counted only in total
+        assert_eq!(h.total, 5);
+        assert!(h.sum.is_finite());
+        assert!(h.mean().is_finite());
+    }
+
+    #[test]
+    fn json_rendering_is_canonical_and_name_ordered() {
+        let m = Metrics::new();
+        m.set_gauge("b", 2.0);
+        m.inc("a", 1);
+        m.set_gauge("c", f64::INFINITY);
+        let json = m.to_json();
+        assert_eq!(
+            json,
+            r#"{"a":{"type":"counter","value":1},"b":{"type":"gauge","value":2},"c":{"type":"gauge","value":null}}"#
+        );
+        // Two registries built in different orders render identically.
+        let m2 = Metrics::new();
+        m2.set_gauge("c", f64::INFINITY);
+        m2.set_gauge("b", 2.0);
+        m2.inc("a", 1);
+        assert_eq!(json, m2.to_json());
+    }
+
+    #[test]
+    fn type_conflicts_resolve_last_writer_wins() {
+        let m = Metrics::new();
+        m.set_gauge("x", 1.0);
+        m.inc("x", 2);
+        assert_eq!(m.snapshot()["x"], Metric::Counter(2));
+        m.observe("x", &[1.0], 0.5);
+        assert!(matches!(m.snapshot()["x"], Metric::Histogram(_)));
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

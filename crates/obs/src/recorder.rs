@@ -1,0 +1,203 @@
+//! The [`Recorder`]: the handle instrumented code holds.
+//!
+//! A recorder is either *disabled* (the default — a `None`, so cloning and
+//! carrying one costs a pointer and emission sites cost one branch) or
+//! *enabled* around a shared [`Sink`]. It also carries the **simulated
+//! clock** for timestamps: the chaos supervisor and cluster simulator push
+//! `SimClock` seconds into it, while a bare trainer advances it by a fixed
+//! logical step width, so every event gets a deterministic `ts` without any
+//! wall-clock read.
+//!
+//! The time setter is a monotonic max: an outer driver setting absolute
+//! sim time always wins over inner logical advances, and time never goes
+//! backwards (Chrome renders backwards timestamps as garbage).
+
+use crate::event::Event;
+use crate::sink::Sink;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Inner {
+    sink: Box<dyn Sink>,
+    now_us: AtomicU64,
+    recorded: AtomicU64,
+}
+
+/// A cheap cloneable tracing handle. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use vf_obs::{Event, Recorder, RingSink};
+/// use std::sync::Arc;
+///
+/// let ring = Arc::new(RingSink::unbounded());
+/// let obs = Recorder::with_sink(ring.clone());
+/// obs.set_time_s(1.5);
+/// if obs.is_enabled() {
+///     obs.emit(Event::instant("fault/crash", "chaos", obs.now_us()));
+/// }
+/// assert_eq!(ring.events()[0].ts_us, 1_500_000);
+///
+/// // Disabled recorders never touch their closure:
+/// Recorder::disabled().record_with(|| unreachable!("not built"));
+/// ```
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// The disabled recorder: every operation is a no-op.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A recorder owning its sink.
+    pub fn new(sink: impl Sink + 'static) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                sink: Box::new(sink),
+                now_us: AtomicU64::new(0),
+                recorded: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A recorder over a shared sink, letting the caller keep a handle to
+    /// collect events later (the usual pattern with [`crate::RingSink`]).
+    pub fn with_sink(sink: Arc<dyn Sink>) -> Self {
+        struct Shared(Arc<dyn Sink>);
+        impl Sink for Shared {
+            fn record(&self, event: &Event) {
+                self.0.record(event);
+            }
+            fn flush(&self) {
+                self.0.flush();
+            }
+        }
+        Recorder::new(Shared(sink))
+    }
+
+    /// True when events will actually be delivered. Hot paths gate on this
+    /// before formatting names or gathering args.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current simulated time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.now_us.load(Ordering::Relaxed))
+    }
+
+    /// Sets the clock to `t_s` simulated seconds if that is in the future
+    /// (monotonic max; fractional microseconds round to nearest).
+    pub fn set_time_s(&self, t_s: f64) {
+        if t_s.is_finite() && t_s >= 0.0 {
+            self.set_time_us((t_s * 1e6).round() as u64);
+        }
+    }
+
+    /// Sets the clock to `t_us` microseconds if that is in the future.
+    pub fn set_time_us(&self, t_us: u64) {
+        if let Some(i) = &self.inner {
+            i.now_us.fetch_max(t_us, Ordering::Relaxed);
+        }
+    }
+
+    /// Advances the clock by `dt_us` microseconds.
+    pub fn advance_us(&self, dt_us: u64) {
+        if let Some(i) = &self.inner {
+            i.now_us.fetch_add(dt_us, Ordering::Relaxed);
+        }
+    }
+
+    /// Delivers `event` to the sink (dropped when disabled).
+    pub fn emit(&self, event: Event) {
+        if let Some(i) = &self.inner {
+            i.recorded.fetch_add(1, Ordering::Relaxed);
+            i.sink.record(&event);
+        }
+    }
+
+    /// Builds the event lazily: `build` runs only when enabled, so a
+    /// disabled recorder allocates nothing.
+    #[inline]
+    pub fn record_with(&self, build: impl FnOnce() -> Event) {
+        if self.is_enabled() {
+            self.emit(build());
+        }
+    }
+
+    /// Total events delivered through this recorder (0 when disabled).
+    pub fn events_recorded(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.recorded.load(Ordering::Relaxed))
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        if let Some(i) = &self.inner {
+            i.sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .field("now_us", &self.now_us())
+            .field("events_recorded", &self.events_recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+
+    #[test]
+    fn disabled_recorder_never_builds_events() {
+        let obs = Recorder::disabled();
+        assert!(!obs.is_enabled());
+        let mut built = false;
+        obs.record_with(|| {
+            built = true;
+            Event::instant("x", "train", 0)
+        });
+        assert!(!built, "a disabled recorder must not construct events");
+        assert_eq!(obs.events_recorded(), 0);
+        obs.set_time_s(5.0);
+        assert_eq!(obs.now_us(), 0);
+    }
+
+    #[test]
+    fn clock_is_monotonic_max() {
+        let obs = Recorder::new(RingSink::unbounded());
+        obs.set_time_s(2.0);
+        obs.set_time_s(1.0); // ignored: time never rewinds
+        assert_eq!(obs.now_us(), 2_000_000);
+        obs.advance_us(5);
+        assert_eq!(obs.now_us(), 2_000_005);
+        obs.set_time_s(f64::NAN); // ignored: non-finite input
+        obs.set_time_s(-1.0); // ignored: negative input
+        assert_eq!(obs.now_us(), 2_000_005);
+    }
+
+    #[test]
+    fn shared_sink_sees_events_from_clones() {
+        let ring = Arc::new(RingSink::unbounded());
+        let a = Recorder::with_sink(ring.clone());
+        let b = a.clone();
+        a.emit(Event::instant("from-a", "train", 0));
+        b.emit(Event::instant("from-b", "train", 1));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(a.events_recorded(), 2, "clones share one counter");
+    }
+}

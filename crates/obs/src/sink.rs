@@ -1,0 +1,172 @@
+//! Event sinks: where a [`Recorder`](crate::Recorder) delivers events.
+//!
+//! Three implementations cover the workspace's needs:
+//!
+//! * [`NullSink`] — drops everything. Combined with the disabled-recorder
+//!   fast path this makes tracing zero-cost when off.
+//! * [`RingSink`] — an in-memory ring buffer holding the most recent `cap`
+//!   events; unbounded mode keeps them all. The determinism tests and the
+//!   `trace_report` harness collect from here.
+//! * [`JsonlSink`] — streams each event as one Chrome `trace_event` JSON
+//!   line into any `Write` (a file, a `Vec<u8>`, …).
+//!
+//! Sinks are `Send + Sync` so one recorder can be cloned across the
+//! supervisor and its trainer; interior mutability is a plain `Mutex`
+//! (poisoning is absorbed — a sink holds no invariants a panicked writer
+//! could break).
+
+use crate::chrome;
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+/// A destination for trace events.
+pub trait Sink: Send + Sync {
+    /// Delivers one event.
+    fn record(&self, event: &Event);
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// Drops every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// An in-memory ring buffer of the most recent events.
+#[derive(Debug, Default)]
+pub struct RingSink {
+    /// 0 = unbounded.
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// A sink keeping every event (unbounded growth).
+    pub fn unbounded() -> Self {
+        RingSink::default()
+    }
+
+    /// A sink keeping only the most recent `cap` events (`cap >= 1`).
+    pub fn with_capacity(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            buf: Mutex::new(VecDeque::with_capacity(cap.clamp(1, 4096))),
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let buf = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
+        buf.iter().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: &Event) {
+        let mut buf = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.cap > 0 && buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Streams events as Chrome `trace_event` JSON lines into a writer.
+pub struct JsonlSink {
+    w: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wraps `w`; each recorded event becomes one JSON line.
+    pub fn new(w: impl Write + Send + 'static) -> Self {
+        JsonlSink {
+            w: Mutex::new(Box::new(w)),
+        }
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut line = chrome::render_event(event);
+        line.push('\n');
+        let mut w = self.w.lock().unwrap_or_else(PoisonError::into_inner);
+        // Sink writes are best-effort: a full disk must not abort a
+        // simulated run whose numeric outputs are the real product.
+        let _ = w.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let mut w = self.w.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let s = RingSink::with_capacity(2);
+        for i in 0..5u64 {
+            s.record(&Event::instant(format!("e{i}"), "train", i));
+        }
+        let names: Vec<String> = s.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["e3", "e4"]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn unbounded_ring_keeps_everything() {
+        let s = RingSink::unbounded();
+        assert!(s.is_empty());
+        for i in 0..100u64 {
+            s.record(&Event::instant("e", "train", i));
+        }
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let s = JsonlSink::new(Shared(buf.clone()));
+        s.record(&Event::instant("a", "chaos", 1));
+        s.record(&Event::counter("c", "chaos", 2, 3u64));
+        s.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

@@ -60,8 +60,18 @@ impl TraceMetrics {
         jcts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let mut delays: Vec<f64> = jobs.iter().filter_map(JobState::queuing_delay_s).collect();
         delays.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let makespan = (end_s - first_arrival_s).max(0.0);
+        // Guard against degenerate traces: an empty trace gives
+        // `end_s == first_arrival_s == 0`, and a caller feeding NaN/∞
+        // times must still get finite metrics out (these numbers land in
+        // JSON reports, where NaN is unrepresentable).
+        let makespan = end_s - first_arrival_s;
+        let makespan = if makespan.is_finite() { makespan.max(0.0) } else { 0.0 };
         let denom = makespan * num_gpus as f64;
+        let utilization = if denom > 0.0 && busy_integral.is_finite() {
+            (busy_integral / denom).max(0.0)
+        } else {
+            0.0
+        };
         TraceMetrics {
             makespan_s: makespan,
             mean_jct_s: if jcts.is_empty() {
@@ -76,7 +86,7 @@ impl TraceMetrics {
                 delays.iter().sum::<f64>() / delays.len() as f64
             },
             median_queuing_delay_s: median(&delays),
-            avg_utilization: if denom > 0.0 { busy_integral / denom } else { 0.0 },
+            avg_utilization: utilization,
             total_resizes: jobs.iter().map(|j| j.resizes).sum(),
         }
     }
@@ -131,6 +141,31 @@ mod tests {
     fn empty_trace_yields_zeroes() {
         let m = TraceMetrics::compute(&[], 4, 0.0, 0.0, 0.0);
         assert_eq!(m.makespan_s, 0.0);
+        assert_eq!(m.avg_utilization, 0.0);
+        assert_eq!(m.mean_jct_s, 0.0);
+        assert_eq!(m.median_queuing_delay_s, 0.0);
+    }
+
+    #[test]
+    fn instant_trace_with_zero_gpus_stays_finite() {
+        // makespan 0 and num_gpus 0 both zero the utilization denominator;
+        // neither may produce NaN/∞.
+        let jobs = vec![finished_job(0, 5.0, 5.0, 5.0)];
+        let m = TraceMetrics::compute(&jobs, 0, 5.0, 5.0, 1.0);
+        assert_eq!(m.makespan_s, 0.0);
+        assert_eq!(m.avg_utilization, 0.0);
+        assert!(m.mean_jct_s.is_finite());
+    }
+
+    #[test]
+    fn non_finite_inputs_are_pinned_to_finite_metrics() {
+        let m = TraceMetrics::compute(&[], 4, f64::NAN, f64::INFINITY, f64::NAN);
+        assert_eq!(m.makespan_s, 0.0);
+        assert_eq!(m.avg_utilization, 0.0);
+        let m = TraceMetrics::compute(&[], 4, 0.0, 100.0, f64::NAN);
+        assert_eq!(m.avg_utilization, 0.0, "NaN busy integral is discarded");
+        let m = TraceMetrics::compute(&[], 4, 100.0, 0.0, 50.0);
+        assert_eq!(m.makespan_s, 0.0, "negative makespan clamps to zero");
         assert_eq!(m.avg_utilization, 0.0);
     }
 }

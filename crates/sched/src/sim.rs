@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vf_comm::LinkProfile;
 use vf_device::{DeviceId, DeviceProfile, DeviceType, FaultPlan};
+use vf_obs::{Event, Recorder};
 
 /// Configuration of a cluster simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -139,6 +140,26 @@ pub fn run_trace(
     scheduler: &mut dyn Scheduler,
     config: &SimConfig,
 ) -> SimResult {
+    run_trace_traced(trace, scheduler, config, &Recorder::disabled())
+}
+
+/// [`run_trace`] with a trace recorder attached.
+///
+/// Emits `sched` events on the simulator's own clock: one instant per job
+/// arrival and completion, and `queue_depth` / `running` / `capacity` /
+/// `gpus_busy` counters after every scheduling event. The simulator is
+/// single-threaded and event-ordered, so the emitted stream is
+/// bit-identical across repeat runs and thread-count settings.
+///
+/// # Panics
+///
+/// Same conditions as [`run_trace`].
+pub fn run_trace_traced(
+    trace: &[JobSpec],
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+    obs: &Recorder,
+) -> SimResult {
     let device = DeviceProfile::of(config.device_type);
     let mut arrivals: Vec<JobSpec> = trace.to_vec();
     for j in &arrivals {
@@ -236,7 +257,15 @@ pub fn run_trace(
         while let Some(e) = capacity_iter.next_if(|e| e.at_s <= now) {
             capacity = e.num_gpus.min(config.num_gpus);
         }
+        // Simulated seconds → event-timestamp microseconds.
+        let now_us = (now.max(0.0) * 1e6).round() as u64;
+        obs.set_time_us(now_us);
         while let Some(spec) = pending.next_if(|j| j.arrival_s <= now) {
+            obs.record_with(|| {
+                Event::instant(format!("job{}/arrival", spec.id.0), "sched", now_us)
+                    .with_arg("demand", spec.demand)
+                    .with_arg("priority", spec.priority)
+            });
             active.insert(spec.id, JobState::new(spec));
         }
         let finished_ids: Vec<JobId> = active
@@ -250,6 +279,13 @@ pub fn run_trace(
             };
             job.finished_at_s = Some(now);
             job.allocation = 0;
+            obs.record_with(|| {
+                let mut e = Event::instant(format!("job{}/completion", id.0), "sched", now_us);
+                if let Some(jct) = job.jct_s() {
+                    e = e.with_arg("jct_s", jct);
+                }
+                e.with_arg("resizes", job.resizes)
+            });
             done.push(job);
         }
 
@@ -269,6 +305,11 @@ pub fn run_trace(
             }
             if job.started_at_s.is_some() && new_alloc != job.allocation && job.allocation > 0 {
                 job.resizes += 1;
+                obs.record_with(|| {
+                    Event::instant(format!("job{}/resize", job.spec.id.0), "sched", now_us)
+                        .with_arg("from", job.allocation)
+                        .with_arg("to", new_alloc)
+                });
                 // Charge the resize penalty as extra remaining work.
                 if new_alloc > 0 && config.resize_penalty_s > 0.0 {
                     let st = job.spec.step_time_on(new_alloc, device, &config.link);
@@ -276,6 +317,14 @@ pub fn run_trace(
                 }
             }
             job.allocation = new_alloc;
+        }
+        if obs.is_enabled() {
+            let queued = active.values().filter(|j| j.allocation == 0).count();
+            let running = active.len() - queued;
+            obs.emit(Event::counter("sched/queue_depth", "sched", now_us, queued));
+            obs.emit(Event::counter("sched/running", "sched", now_us, running));
+            obs.emit(Event::counter("sched/capacity", "sched", now_us, capacity));
+            obs.emit(Event::counter("sched/gpus_busy", "sched", now_us, total));
         }
         timeline.push(AllocationSample {
             time_s: now,

@@ -66,6 +66,37 @@ impl<T> SendPtr<T> {
 /// Logical thread count: 0 means "not yet initialized from the environment".
 static LOGICAL: AtomicUsize = AtomicUsize::new(0);
 
+/// Jobs submitted through [`run_job`] (including the sequential fast path).
+static JOBS_SUBMITTED: AtomicUsize = AtomicUsize::new(0);
+/// Chunks executed across all jobs.
+static CHUNKS_EXECUTED: AtomicUsize = AtomicUsize::new(0);
+/// Times a kernel took the [`run_serial`] too-small-to-parallelize path.
+static SERIAL_FALLBACKS: AtomicUsize = AtomicUsize::new(0);
+
+/// A point-in-time snapshot of the pool's activity counters.
+///
+/// These numbers depend on thread count and workload shape, so they feed the
+/// *metrics* side of observability (bench JSON), never the deterministic
+/// trace stream — traces must be bit-identical across `VF_NUM_THREADS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Jobs submitted via the pool (each `parallel_rows`/`parallel_tasks`).
+    pub jobs_submitted: usize,
+    /// Total chunks executed across all jobs.
+    pub chunks_executed: usize,
+    /// Serial-fallback kernel invocations ([`run_serial`]).
+    pub serial_fallbacks: usize,
+}
+
+/// Snapshots the process-wide pool counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        jobs_submitted: JOBS_SUBMITTED.load(Ordering::Relaxed),
+        chunks_executed: CHUNKS_EXECUTED.load(Ordering::Relaxed),
+        serial_fallbacks: SERIAL_FALLBACKS.load(Ordering::Relaxed),
+    }
+}
+
 /// The number of logical threads parallel kernels chunk their work into.
 ///
 /// Initialized from `VF_NUM_THREADS` (if set to a positive integer) or the
@@ -207,6 +238,8 @@ fn run_job(body: &(dyn Fn(usize) + Sync), total: usize) {
     if total == 0 {
         return;
     }
+    JOBS_SUBMITTED.fetch_add(1, Ordering::Relaxed);
+    CHUNKS_EXECUTED.fetch_add(total, Ordering::Relaxed);
     let pool = pool();
     if pool.workers == 0 || total == 1 {
         // Sequential fast path: same chunks, same order, same arithmetic.
@@ -295,6 +328,7 @@ pub fn claim_region<T>(base: *const T, elems: Range<usize>) {
 /// fresh allocations and report false races. The enclosing chunk's own
 /// claim already covers everything it writes.
 pub fn run_serial(rows: usize, body: impl FnOnce(Range<usize>)) {
+    SERIAL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
     #[cfg(debug_assertions)]
     let _quiet = crate::sanitizer::enter_quiet();
     body(0..rows);
@@ -460,6 +494,17 @@ mod tests {
                 panic!("original chunk panic message survives");
             }
         });
+    }
+
+    #[test]
+    fn stats_count_jobs_chunks_and_serial_fallbacks() {
+        let before = stats();
+        parallel_rows(64, |_r| {});
+        run_serial(8, |_r| {});
+        let after = stats();
+        assert!(after.jobs_submitted > before.jobs_submitted);
+        assert!(after.chunks_executed > before.chunks_executed);
+        assert!(after.serial_fallbacks > before.serial_fallbacks);
     }
 
     #[test]

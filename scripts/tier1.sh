@@ -22,4 +22,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier 1: chaos smoke (fixed seed, bit-exact under faults) =="
 cargo run --release -q -p vf-bench --bin chaos_bench -- --smoke
 
+echo "== tier 1: trace smoke (export byte-identical across pool sizes) =="
+cargo run --release -q -p vf-bench --bin trace_report -- --smoke
+
 echo "tier 1 OK"

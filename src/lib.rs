@@ -23,6 +23,7 @@
 //! | [`models`] | `vf-models` | model profiles + trainable stand-ins |
 //! | [`core`] | `vf-core` | virtual nodes, the trainer, elasticity, §7 extensions |
 //! | [`sched`] | `vf-sched` | elastic WFS scheduler, cluster simulator, traces |
+//! | [`obs`] | `vf-obs` | deterministic tracing + metrics, Chrome trace export |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@ pub use vf_core as core;
 pub use vf_data as data;
 pub use vf_device as device;
 pub use vf_models as models;
+pub use vf_obs as obs;
 pub use vf_sched as sched;
 pub use vf_tensor as tensor;
 
