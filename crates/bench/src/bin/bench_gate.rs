@@ -1,0 +1,89 @@
+//! Bench gate: fail the build when performance regresses.
+//!
+//! Reads the append-only `results/BENCH_history.jsonl` (each bench
+//! harness appends one schema-versioned headline record per full run)
+//! and the committed `results/BENCH_baseline.json` (blessed value,
+//! direction, and tolerance per gated metric), diffs the **latest**
+//! record of each bench against the baseline, and exits nonzero on any
+//! regression beyond tolerance — or on a baselined metric that has
+//! vanished from history.
+//!
+//! Only deterministic simulated-time metrics are baselined (goodput,
+//! span/event counts, critical-path totals); wall-clock numbers stay in
+//! the history file for trend-watching but are never gated, so tier-1
+//! cannot flake on a loaded machine.
+//!
+//! Usage: `bench_gate [--history <path>] [--baseline <path>]`
+//! (defaults: the committed `results/` files). After an intentional perf
+//! change, re-bless by updating `results/BENCH_baseline.json` to the new
+//! values in the same commit that explains them.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vf_bench::report::{history_path, results_dir};
+use vf_obs::history::{gate, parse_history, Baseline};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut history = history_path();
+    let mut baseline_path = results_dir().join("BENCH_baseline.json");
+    let mut i = 0;
+    while i < args.len() {
+        match (args[i].as_str(), args.get(i + 1)) {
+            ("--history", Some(p)) => {
+                history = PathBuf::from(p);
+                i += 2;
+            }
+            ("--baseline", Some(p)) => {
+                baseline_path = PathBuf::from(p);
+                i += 2;
+            }
+            (other, _) => {
+                eprintln!("unknown argument {other:?}; usage: bench_gate [--history <path>] [--baseline <path>]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("== bench gate ==");
+    println!("history:  {}", history.display());
+    println!("baseline: {}", baseline_path.display());
+
+    let history_text = match std::fs::read_to_string(&history) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read history: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match parse_history(&history_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: malformed history: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match Baseline::parse(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("FAIL: malformed baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("records:  {}\n", records.len());
+
+    let outcome = gate(&records, &baseline);
+    print!("{}", outcome.render());
+    if outcome.pass() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nregression beyond tolerance — if intentional, re-bless results/BENCH_baseline.json in this change");
+        ExitCode::FAILURE
+    }
+}

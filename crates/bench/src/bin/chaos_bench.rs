@@ -13,7 +13,7 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use vf_bench::report::{emit, print_table};
+use vf_bench::report::{append_history, emit, print_table};
 use vf_comm::chaos::CommFaultModel;
 use vf_core::chaos::{ChaosConfig, ChaosReport, ChaosSupervisor};
 use vf_core::{Trainer, TrainerConfig};
@@ -22,7 +22,7 @@ use vf_data::Dataset;
 use vf_device::{DeviceId, FailureModel, FaultPlan, SpotModel};
 use vf_models::trainable::Architecture;
 use vf_models::Mlp;
-use vf_obs::Metrics;
+use vf_obs::{HistoryRecord, Metrics};
 
 const SEED: u64 = 2022;
 
@@ -188,6 +188,11 @@ fn main() -> ExitCode {
             "metrics": metrics_json,
         }),
     );
+    // Full runs append their headline record for the bench_gate diff;
+    // smoke runs are shrunk and would pollute the trajectory.
+    if !smoke {
+        append_history(&HistoryRecord::from_metrics("chaos_bench", &metrics));
+    }
     if diverged {
         ExitCode::FAILURE
     } else {

@@ -5,10 +5,11 @@
 //! tensor — so the ratio jumps once between 1 and 2 virtual nodes, stays
 //! constant afterwards, scales with the model size, and never exceeds 20%.
 
-use vf_bench::report::{emit, print_table};
+use vf_bench::report::{append_history, emit, print_table};
 use vf_core::memory_model::{simulate_step_timeline, timeline_peak};
 use vf_device::{DeviceProfile, DeviceType};
 use vf_models::profile::{bert_base, bert_large, resnet50};
+use vf_obs::{HistoryRecord, Metrics};
 
 fn main() {
     println!("== Figure 15: normalized peak memory vs virtual node count ==\n");
@@ -16,6 +17,9 @@ fn main() {
     let vn_counts = [1usize, 2, 4, 8, 16];
     let mut rows = Vec::new();
     let mut out = Vec::new();
+    // Headline numbers flow through the shared registry so this figure,
+    // the traces, and the bench history speak one schema.
+    let metrics = Metrics::new();
     for model in [resnet50(), bert_base(), bert_large()] {
         let micro = model.max_micro_batch_virtual(&gpu).max(1);
         let base = timeline_peak(
@@ -43,6 +47,9 @@ fn main() {
             "{}: overhead must be constant beyond 2 VNs",
             model.name
         );
+        metrics.set_gauge(&format!("mem/{}/micro_batch", model.name), micro as f64);
+        metrics.set_gauge(&format!("mem/{}/overhead_ratio_vn2", model.name), ratios[1]);
+        metrics.set_gauge(&format!("mem/{}/base_peak_bytes", model.name), base);
         out.push(serde_json::json!({
             "model": model.name,
             "micro_batch": micro,
@@ -60,5 +67,13 @@ fn main() {
     // Larger models pay a larger relative overhead.
     let jump = |i: usize| out[i]["normalized_peak"][1].as_f64().expect("numeric");
     assert!(jump(2) > jump(0), "BERT-LARGE jump must exceed ResNet-50's");
-    emit("fig15_memory_overhead", &serde_json::json!({ "rows": out }));
+    let metrics_json: serde_json::Value =
+        // vf-lint: allow(panic-ratchet) — registry rendering is self-tested; abort loudly
+        serde_json::from_str(&metrics.to_json()).expect("metrics registry renders valid JSON");
+    emit(
+        "fig15_memory_overhead",
+        &serde_json::json!({ "rows": out, "metrics": metrics_json }),
+    );
+    // Pure simulated-time numbers: deterministic, and therefore gateable.
+    append_history(&HistoryRecord::from_metrics("fig15_memory_overhead", &metrics));
 }

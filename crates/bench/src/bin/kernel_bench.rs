@@ -11,8 +11,8 @@
 //! Writes `results/BENCH_kernels.json` with GFLOP/s and speedups per size.
 
 use std::time::Instant;
-use vf_bench::report::{emit, print_table};
-use vf_obs::Metrics;
+use vf_bench::report::{append_history, emit, print_table};
+use vf_obs::{HistoryRecord, Metrics};
 use vf_tensor::{conv, gemm, init, pool, Tensor};
 
 /// The seed tree's `ops::matmul` inner loops, verbatim (zero-skip included).
@@ -202,4 +202,7 @@ fn main() {
         }),
     );
     println!("wrote results/BENCH_kernels.json");
+    // Wall-clock GFLOPS land in history for trend-watching; the committed
+    // baseline only gates deterministic metrics, so this cannot flake CI.
+    append_history(&HistoryRecord::from_metrics("kernel_bench", &metrics));
 }

@@ -35,6 +35,12 @@ const EXPERIMENTS: &[&str] = &[
     "ablate_noise_scale",
     "ablate_schedulers",
     "ablate_conv_repro",
+    "kernel_bench",
+    "chaos_bench",
+    "trace_report",
+    "trace_profile",
+    // Last: diff the fresh history records against the committed baseline.
+    "bench_gate",
 ];
 
 fn sibling_binary(name: &str) -> PathBuf {

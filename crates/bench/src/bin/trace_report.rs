@@ -15,7 +15,7 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use vf_bench::report::results_dir;
+use vf_bench::report::{append_history, results_dir};
 use vf_comm::chaos::CommFaultModel;
 use vf_core::chaos::{ChaosConfig, ChaosReport, ChaosSupervisor};
 use vf_core::TrainerConfig;
@@ -24,7 +24,7 @@ use vf_data::Dataset;
 use vf_device::{DeviceId, FailureModel, FaultPlan, SpotModel};
 use vf_models::trainable::Architecture;
 use vf_models::Mlp;
-use vf_obs::{chrome, ArgValue, Event, Metrics, Phase, Recorder, RingSink};
+use vf_obs::{chrome, ArgValue, Event, HistoryRecord, Metrics, Phase, Recorder, RingSink};
 use vf_tensor::pool;
 
 const SEED: u64 = 2022;
@@ -186,5 +186,9 @@ fn main() -> ExitCode {
     println!("\nmetrics: {}", m.to_json());
     println!("\n[wrote {}]", json_path.display());
     println!("[wrote {}]", txt_path.display());
+    // Full runs feed the bench_gate trajectory; smoke runs are shrunk.
+    if !smoke {
+        append_history(&HistoryRecord::from_metrics("trace_report", &m));
+    }
     ExitCode::SUCCESS
 }

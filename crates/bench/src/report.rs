@@ -30,6 +30,37 @@ pub fn emit<T: Serialize>(id: &str, value: &T) {
     println!("\n[wrote {}]", path.display());
 }
 
+/// Path of the append-only bench history file.
+pub fn history_path() -> PathBuf {
+    results_dir().join("BENCH_history.jsonl")
+}
+
+/// Appends one headline record to `results/BENCH_history.jsonl` (creating
+/// it on first use). Every harness calls this with its deterministic
+/// headline numbers so the repo accumulates a perf trajectory the
+/// `bench_gate` binary can diff against the committed baseline.
+///
+/// # Panics
+///
+/// Panics if the history file cannot be written — a bench run whose
+/// record silently vanishes would defeat the regression gate.
+pub fn append_history(record: &vf_obs::HistoryRecord) {
+    use std::io::Write;
+    let dir = results_dir();
+    // vf-lint: allow(panic-ratchet) — a harness without its output dir must abort
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = history_path();
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        // vf-lint: allow(panic-ratchet) — a silently dropped record defeats the gate
+        .expect("open bench history");
+    // vf-lint: allow(panic-ratchet) — a silently dropped record defeats the gate
+    writeln!(file, "{}", record.to_line()).expect("append bench history");
+    println!("[appended {} record to {}]", record.bench, path.display());
+}
+
 /// Prints an aligned table: a header row then data rows.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

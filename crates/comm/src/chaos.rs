@@ -193,8 +193,10 @@ pub fn allreduce_with_recovery(
 /// [`allreduce_with_recovery`] with a trace recorder attached.
 ///
 /// Emits one `comm` event per failed attempt (timeout/abort, with the
-/// attempt index and ring size) and a final `allreduce` span covering the
-/// whole priced duration. Timestamps are offsets from the recorder's
+/// attempt index and ring size), an `allreduce/attempt` child span tiling
+/// each attempt's charged interval (so profilers attribute retry time to
+/// the attempt and its fault kind), and a final `allreduce` span covering
+/// the whole priced duration. Timestamps are offsets from the recorder's
 /// simulated clock plus the simulated time already charged to this
 /// collective — no wall clock is read, so the event stream is a pure
 /// function of `(model, stream, bytes, workers, link)`. The recorder's
@@ -234,9 +236,25 @@ pub fn allreduce_with_recovery_traced(
                 .with_arg("attempts", outcome.attempts)
         });
     };
+    // Each attempt also renders as a child span tiling the charged
+    // interval it occupied, so the profiler attributes retry time to the
+    // attempt (and its fault kind) rather than to the collective as a
+    // whole. Zero-width attempts (sub-microsecond charges) are skipped.
+    let attempt_span = |t0: f64, t1: f64, attempt: u32, ring: usize, kind: &'static str| {
+        let (s, e) = (charged_us(t0), charged_us(t1));
+        if e > s {
+            obs.record_with(|| {
+                Event::complete("allreduce/attempt", "comm", base_us + s, e - s)
+                    .with_arg("attempt", attempt)
+                    .with_arg("ring", ring)
+                    .with_arg("kind", kind)
+            });
+        }
+    };
     let mut ring = workers.max(1);
     while outcome.attempts < max_attempts {
         let attempt = outcome.attempts;
+        let t_before = outcome.time_s;
         outcome.attempts += 1;
         // A single worker has nothing to synchronize and nothing to lose.
         if ring <= 1 {
@@ -248,7 +266,11 @@ pub fn allreduce_with_recovery_traced(
             AttemptFault::None => {
                 outcome.time_s += ring_allreduce_time_s(bytes, ring, link);
                 outcome.final_workers = ring;
+                // Parent before child: when a lone attempt tiles the whole
+                // collective the two spans share boundaries, and the span
+                // tree breaks ties by emission order.
                 finish(&outcome);
+                attempt_span(t_before, outcome.time_s, attempt, ring, "ok");
                 return Ok(outcome);
             }
             AttemptFault::Straggler => {
@@ -265,6 +287,7 @@ pub fn allreduce_with_recovery_traced(
                         .with_arg("ring", ring)
                 });
                 finish(&outcome);
+                attempt_span(t_before, outcome.time_s, attempt, ring, "straggler");
                 return Ok(outcome);
             }
             AttemptFault::Timeout => {
@@ -275,6 +298,7 @@ pub fn allreduce_with_recovery_traced(
                         .with_arg("attempt", attempt)
                         .with_arg("ring", ring)
                 });
+                attempt_span(t_before, outcome.time_s, attempt, ring, "timeout");
             }
             AttemptFault::Abort => {
                 // Half a pass elapses before the death is detected, then
@@ -288,6 +312,7 @@ pub fn allreduce_with_recovery_traced(
                         .with_arg("attempt", attempt)
                         .with_arg("ring", ring)
                 });
+                attempt_span(t_before, outcome.time_s, attempt, ring, "abort");
             }
         }
     }

@@ -370,6 +370,34 @@ impl Trainer {
                     .with_arg("loss", loss),
             );
         }
+        // Per-device busy mirror of the VN spans: each device's track
+        // (tid `device_tid(i)`) carries one busy span per VN it ran this
+        // step, so the profiler's track-busy table reads utilization per
+        // device straight off the trace. Devices iterate in id order and
+        // VNs in VN order — the same canonical order as everything else.
+        for (di, (_, vns)) in self.mapping.iter().enumerate() {
+            for vn in vns {
+                self.obs.emit(
+                    Event::complete(
+                        format!("dev{di}/busy"),
+                        "device",
+                        base + u64::from(vn.0),
+                        1,
+                    )
+                    .with_tid(vf_device::obs::device_tid(di))
+                    .with_arg("step", report.step),
+                );
+            }
+            self.obs.emit(
+                Event::counter(
+                    format!("dev{di}/vns"),
+                    "device",
+                    base,
+                    vns.len(),
+                )
+                .with_tid(vf_device::obs::device_tid(di)),
+            );
+        }
         let agg_ts = base + total_vns as u64;
         let param_bytes: usize = self.params.iter().map(Tensor::size_bytes).sum();
         self.obs.emit(

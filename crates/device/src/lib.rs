@@ -32,6 +32,7 @@ pub mod cost;
 pub mod failure;
 pub mod fault_plan;
 pub mod memory;
+pub mod obs;
 mod profile;
 
 pub use backoff::{Backoff, BackoffPolicy};

@@ -170,6 +170,29 @@ fn stray_print_allows_bench_tests_and_suppressions() {
 }
 
 #[test]
+fn stray_print_exemption_stays_scoped_to_the_bench_crate() {
+    // The bench-harness carve-out must not leak: the same println-heavy
+    // binary shape is exempt under crates/bench/src/bin/ and flagged
+    // anywhere else — bin targets of other crates included.
+    let fx = Fixture::new("pub fn f() {}\n");
+    fx.write(
+        "crates/bench/Cargo.toml",
+        "[package]\nname = \"bench\"\nversion = \"0.1.0\"\n",
+    );
+    fx.write(
+        "crates/bench/src/bin/trace_profile.rs",
+        "fn main() { println!(\"critical path: 12 spans\"); }\n",
+    );
+    fx.write(
+        "crates/foo/src/bin/tool.rs",
+        "fn main() { println!(\"not a bench harness\"); }\n",
+    );
+    let errs = fx.errors("stray-print");
+    assert_eq!(errs.len(), 1, "{errs:?}");
+    assert_eq!(errs[0], ("crates/foo/src/bin/tool.rs".to_string(), 1));
+}
+
+#[test]
 fn registry_dep_fires_on_version_only_dependency() {
     let fx = Fixture::new("pub fn f() {}\n");
     fx.write(

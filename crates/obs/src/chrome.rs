@@ -11,23 +11,7 @@
 //! load directly).
 
 use crate::event::{ArgValue, Event};
-
-/// Escapes `s` into `out` as JSON string contents (no surrounding quotes).
-fn escape_into(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-}
+use crate::json::{escape_into, push_f64};
 
 /// Writes an [`ArgValue`] as a JSON value. Non-finite floats become
 /// `null` — JSON has no NaN/∞, and a gap is more honest than a guess.
@@ -35,8 +19,7 @@ fn value_into(v: &ArgValue, out: &mut String) {
     match v {
         ArgValue::U64(n) => out.push_str(&n.to_string()),
         ArgValue::I64(n) => out.push_str(&n.to_string()),
-        ArgValue::F64(x) if x.is_finite() => out.push_str(&x.to_string()),
-        ArgValue::F64(_) => out.push_str("null"),
+        ArgValue::F64(x) => push_f64(*x, out),
         ArgValue::Str(s) => {
             out.push('"');
             escape_into(s, out);

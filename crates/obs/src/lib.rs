@@ -48,11 +48,16 @@
 
 pub mod chrome;
 mod event;
+pub mod history;
+pub mod json;
 mod metrics;
+pub mod profile;
 mod recorder;
 mod sink;
 
 pub use event::{ArgValue, Event, Phase};
+pub use history::{Baseline, BaselineMetric, Direction, GateOutcome, HistoryRecord};
 pub use metrics::{Histogram, Metric, Metrics};
+pub use profile::Profile;
 pub use recorder::Recorder;
 pub use sink::{JsonlSink, NullSink, RingSink, Sink};

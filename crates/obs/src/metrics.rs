@@ -7,6 +7,7 @@
 //! harnesses route their headline numbers through a registry so
 //! `results/BENCH_*.json` files and traces share one schema.
 
+use crate::json::{escape_into, push_f64};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, PoisonError};
 
@@ -102,13 +103,15 @@ impl Metrics {
         f(&mut map)
     }
 
-    /// Adds `delta` to counter `name` (created at zero). If `name` exists
-    /// with a different type it is replaced — last writer wins, loudly
-    /// visible in the snapshot rather than silently dropped.
+    /// Adds `delta` to counter `name` (created at zero), saturating at
+    /// `u64::MAX` — a counter that has run for a very long time pins at the
+    /// ceiling instead of wrapping (or panicking in debug builds). If
+    /// `name` exists with a different type it is replaced — last writer
+    /// wins, loudly visible in the snapshot rather than silently dropped.
     pub fn inc(&self, name: &str, delta: u64) {
         self.with(|map| {
             match map.get_mut(name) {
-                Some(Metric::Counter(c)) => *c += delta,
+                Some(Metric::Counter(c)) => *c = c.saturating_add(delta),
                 _ => {
                     map.insert(name.to_string(), Metric::Counter(delta));
                 }
@@ -120,6 +123,22 @@ impl Metrics {
     pub fn set_gauge(&self, name: &str, value: f64) {
         self.with(|map| {
             map.insert(name.to_string(), Metric::Gauge(value));
+        });
+    }
+
+    /// Declares histogram `name` with the given bucket `bounds` without
+    /// observing anything, so a series appears in every snapshot (all-zero
+    /// counts) even on runs where no sample arrives — keeping exported
+    /// schemas stable across quiet and busy runs. A no-op if `name` already
+    /// holds a histogram.
+    pub fn declare_histogram(&self, name: &str, bounds: &[f64]) {
+        self.with(|map| {
+            let metric = map
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)));
+            if !matches!(metric, Metric::Histogram(_)) {
+                *metric = Metric::Histogram(Histogram::new(bounds));
+            }
         });
     }
 
@@ -199,25 +218,6 @@ impl Metrics {
     }
 }
 
-fn push_f64(v: f64, out: &mut String) {
-    if v.is_finite() {
-        out.push_str(&v.to_string());
-    } else {
-        out.push_str("null");
-    }
-}
-
-fn escape_into(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +283,56 @@ mod tests {
     fn empty_histogram_mean_is_zero() {
         let h = Histogram::new(&[1.0]);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_samples_land_in_edge_buckets() {
+        let m = Metrics::new();
+        let bounds = [0.0, 1.0];
+        // Far below the first bound: the `v <= bounds[0]` bucket.
+        m.observe("h", &bounds, -1e300);
+        // Far above the last bound: the overflow bucket.
+        m.observe("h", &bounds, 1e300);
+        // Exactly on a bound goes to that bound's bucket (<= semantics).
+        m.observe("h", &bounds, 1.0);
+        let Metric::Histogram(h) = m.snapshot().remove("h").unwrap() else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.total, 3);
+        // Extreme-but-finite samples stay in the sum verbatim.
+        assert_eq!(h.sum, -1e300 + 1e300 + 1.0);
+    }
+
+    #[test]
+    fn declared_empty_histogram_renders_all_zero_counts() {
+        let m = Metrics::new();
+        m.declare_histogram("lat", &[1.0, 2.0]);
+        assert_eq!(
+            m.to_json(),
+            r#"{"lat":{"type":"histogram","bounds":[1,2],"counts":[0,0,0],"sum":0,"total":0}}"#
+        );
+        // Declaration is idempotent and never clears observations.
+        m.observe("lat", &[9.0], 1.5);
+        m.declare_histogram("lat", &[1.0, 2.0]);
+        let Metric::Histogram(h) = m.snapshot().remove("lat").unwrap() else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.total, 1);
+        assert_eq!(h.bounds, vec![1.0, 2.0], "original bounds are kept");
+        // But declaring over a non-histogram replaces it, last writer wins.
+        m.set_gauge("g", 1.0);
+        m.declare_histogram("g", &[1.0]);
+        assert!(matches!(m.snapshot()["g"], Metric::Histogram(_)));
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let m = Metrics::new();
+        m.inc("c", u64::MAX - 1);
+        m.inc("c", 5);
+        assert_eq!(m.snapshot()["c"], Metric::Counter(u64::MAX));
+        m.inc("c", u64::MAX);
+        assert_eq!(m.snapshot()["c"], Metric::Counter(u64::MAX), "stays pinned");
     }
 }

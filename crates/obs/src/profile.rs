@@ -1,0 +1,607 @@
+//! Trace analysis: span trees, self-time, critical paths, collapsed
+//! stacks, and counter timelines — the read side of the recording spine.
+//!
+//! [`Profile::from_events`] reconstructs the span forest from recorded
+//! [`Event`]s: complete spans are grouped by their logical `(pid, tid)`
+//! track, sorted by `(ts, longer-first)`, and nested by interval
+//! containment with a stack — the same reconstruction `chrome://tracing`
+//! performs, but offline and deterministic. From the forest we derive:
+//!
+//! * **self-time** per span (duration minus children), aggregated by name
+//!   into the table `trace_profile` prints;
+//! * an **exact critical path**: the backward-greedy chain of
+//!   last-finishing spans (deepest span wins ties), which by construction
+//!   is non-overlapping, so its total duration never exceeds the traced
+//!   window — the invariant the integration suite asserts;
+//! * **collapsed stacks** in the `root;child;leaf count` format flamegraph
+//!   tooling consumes, weighted by self-time;
+//! * **counter timelines** ([`counter_series`]) for per-device memory and
+//!   utilization plots.
+//!
+//! Everything here is a pure function of the event list: no clocks, no
+//! hashing, no threads. Given byte-identical traces (which the recording
+//! side guarantees across `VF_NUM_THREADS` settings), every rendering in
+//! this module is byte-identical too.
+
+use crate::event::{ArgValue, Event, Phase};
+use std::collections::BTreeMap;
+
+/// One reconstructed span in the profile arena.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Span name (e.g. `"vn3/grad"`, `"allreduce"`).
+    pub name: String,
+    /// Event category (`"train"`, `"comm"`, `"sched"`, ...).
+    pub cat: &'static str,
+    /// Logical process track.
+    pub pid: u32,
+    /// Logical thread track.
+    pub tid: u32,
+    /// Start, microseconds of simulated time.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Duration not covered by child spans (saturating).
+    pub self_us: u64,
+    /// Nesting depth: 0 for roots.
+    pub depth: usize,
+    /// Arena index of the parent span, if nested.
+    pub parent: Option<usize>,
+    /// Arena indices of directly nested spans, in start order.
+    pub children: Vec<usize>,
+}
+
+impl Span {
+    /// End timestamp (`ts + dur`), microseconds.
+    pub fn end_us(&self) -> u64 {
+        self.ts_us + self.dur_us
+    }
+}
+
+/// One row of the aggregated self-time table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTimeRow {
+    /// Span name the row aggregates.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total duration across those spans, microseconds.
+    pub total_us: u64,
+    /// Total self-time across those spans, microseconds.
+    pub self_us: u64,
+}
+
+/// A reconstructed span forest with derived timing analyses.
+///
+/// # Examples
+///
+/// ```
+/// use vf_obs::{Event, Profile};
+///
+/// let events = vec![
+///     Event::complete("step", "train", 0, 10),
+///     Event::complete("grad", "train", 0, 6),
+///     Event::complete("agg", "train", 6, 4),
+/// ];
+/// let p = Profile::from_events(&events);
+/// assert_eq!(p.spans().len(), 3);
+/// assert_eq!(p.total_traced_us(), 10); // one root
+/// let path = p.critical_path();
+/// assert!(p.path_duration_us(&path) <= p.total_traced_us());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    spans: Vec<Span>,
+    roots: Vec<usize>,
+}
+
+impl Profile {
+    /// Reconstructs the span forest from `events`, ignoring instants and
+    /// counters. Within each `(pid, tid)` track, spans sort by start time
+    /// (longer span first on ties, then original event order) and nest by
+    /// interval containment, exactly as trace viewers render them.
+    pub fn from_events(events: &[Event]) -> Profile {
+        // Group complete spans per logical track; BTreeMap keeps the track
+        // walk order canonical so arena indices are deterministic.
+        let mut tracks: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+        for (seq, e) in events.iter().enumerate() {
+            if e.ph == Phase::Complete {
+                tracks.entry((e.pid, e.tid)).or_default().push(seq);
+            }
+        }
+        let mut spans: Vec<Span> = Vec::new();
+        let mut roots: Vec<usize> = Vec::new();
+        for ((pid, tid), mut seqs) in tracks {
+            seqs.sort_by(|&a, &b| {
+                let (ea, eb) = (&events[a], &events[b]);
+                ea.ts_us
+                    .cmp(&eb.ts_us)
+                    .then(eb.dur_us.cmp(&ea.dur_us))
+                    .then(a.cmp(&b))
+            });
+            // Containment stack: the top is the innermost span still open
+            // at the current start time.
+            let mut stack: Vec<usize> = Vec::new();
+            for seq in seqs {
+                let e = &events[seq];
+                let end = e.ts_us + e.dur_us;
+                while let Some(&top) = stack.last() {
+                    let t = &spans[top];
+                    if e.ts_us >= t.ts_us && end <= t.end_us() {
+                        break; // nested inside the top
+                    }
+                    stack.pop();
+                }
+                let parent = stack.last().copied();
+                let idx = spans.len();
+                spans.push(Span {
+                    name: e.name.clone(),
+                    cat: e.cat,
+                    pid,
+                    tid,
+                    ts_us: e.ts_us,
+                    dur_us: e.dur_us,
+                    self_us: e.dur_us,
+                    depth: parent.map_or(0, |p| spans[p].depth + 1),
+                    parent,
+                    children: Vec::new(),
+                });
+                match parent {
+                    Some(p) => {
+                        spans[p].children.push(idx);
+                        spans[p].self_us = spans[p].self_us.saturating_sub(e.dur_us);
+                    }
+                    None => roots.push(idx),
+                }
+                stack.push(idx);
+            }
+        }
+        Profile { spans, roots }
+    }
+
+    /// The span arena, in deterministic (track, start) order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Arena indices of the root spans (depth 0), in arena order.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Total traced time: the sum of root span durations across all
+    /// tracks. Because self-time subtracts children from parents, this
+    /// equals the sum of all spans' self-time whenever children tile
+    /// within their parents (the invariant the instrumentation keeps).
+    pub fn total_traced_us(&self) -> u64 {
+        self.roots.iter().map(|&i| self.spans[i].dur_us).sum()
+    }
+
+    /// Sum of self-time over every span.
+    pub fn total_self_us(&self) -> u64 {
+        self.spans.iter().map(|s| s.self_us).sum()
+    }
+
+    /// The `[earliest start, latest end]` window covered by spans, or
+    /// `None` when the profile is empty.
+    pub fn window_us(&self) -> Option<(u64, u64)> {
+        let lo = self.spans.iter().map(|s| s.ts_us).min()?;
+        let hi = self.spans.iter().map(Span::end_us).max()?;
+        Some((lo, hi))
+    }
+
+    /// Busy microseconds per `(pid, tid)` track: the sum of root span
+    /// durations on that track. For per-device tracks where roots are
+    /// busy spans, `busy / window` is the device's utilization.
+    pub fn track_busy_us(&self) -> BTreeMap<(u32, u32), u64> {
+        let mut busy: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for &i in &self.roots {
+            let s = &self.spans[i];
+            *busy.entry((s.pid, s.tid)).or_insert(0) += s.dur_us;
+        }
+        busy
+    }
+
+    /// The exact critical path: a chain of non-overlapping spans ending at
+    /// the globally last finish time, built backwards by repeatedly taking
+    /// the span that finishes last among those ending at or before the
+    /// chain's current start. Ties prefer the latest-finishing, then the
+    /// deepest (most specific attribution), then the latest-starting span,
+    /// then the smallest arena index — every rule total, so the path is a
+    /// pure function of the trace. Returns arena indices in chronological
+    /// order.
+    ///
+    /// Because consecutive picks never overlap, the summed duration
+    /// ([`Profile::path_duration_us`]) can never exceed the traced window
+    /// (and never exceeds the root's duration in single-root profiles).
+    pub fn critical_path(&self) -> Vec<usize> {
+        let mut chosen = vec![false; self.spans.len()];
+        let mut path: Vec<usize> = Vec::new();
+        // `bound` is exclusive-ish: candidates must end at or before it;
+        // start with the global end (only the last finisher qualifies).
+        let mut bound = match self.spans.iter().map(Span::end_us).max() {
+            Some(hi) => hi,
+            None => return path,
+        };
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, s) in self.spans.iter().enumerate() {
+                if chosen[i] || s.end_us() > bound {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let t = &self.spans[b];
+                        (s.end_us(), s.depth, s.ts_us) > (t.end_us(), t.depth, t.ts_us)
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+            match best {
+                Some(i) => {
+                    chosen[i] = true;
+                    path.push(i);
+                    bound = self.spans[i].ts_us;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+
+    /// Summed duration of the spans on `path` (non-overlapping for paths
+    /// from [`Profile::critical_path`], so this is wall time on the path).
+    pub fn path_duration_us(&self, path: &[usize]) -> u64 {
+        path.iter().map(|&i| self.spans[i].dur_us).sum()
+    }
+
+    /// Self-time aggregated by span name, sorted by descending self-time
+    /// then ascending name.
+    pub fn self_time_rows(&self) -> Vec<SelfTimeRow> {
+        let mut by_name: BTreeMap<&str, SelfTimeRow> = BTreeMap::new();
+        for s in &self.spans {
+            let row = by_name.entry(&s.name).or_insert_with(|| SelfTimeRow {
+                name: s.name.clone(),
+                count: 0,
+                total_us: 0,
+                self_us: 0,
+            });
+            row.count += 1;
+            row.total_us += s.dur_us;
+            row.self_us += s.self_us;
+        }
+        let mut rows: Vec<SelfTimeRow> = by_name.into_values().collect();
+        rows.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+        rows
+    }
+
+    /// Collapsed stacks in the flamegraph text format: one
+    /// `root;child;leaf weight` line per distinct stack, weighted by
+    /// self-time (zero-weight stacks omitted), lines sorted. Feed straight
+    /// into `flamegraph.pl` or speedscope.
+    pub fn collapsed_stacks(&self) -> String {
+        let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.self_us == 0 {
+                continue;
+            }
+            let mut frames: Vec<&str> = Vec::new();
+            let mut at = Some(i);
+            while let Some(idx) = at {
+                frames.push(&self.spans[idx].name);
+                at = self.spans[idx].parent;
+            }
+            frames.reverse();
+            *stacks.entry(frames.join(";")).or_insert(0) += s.self_us;
+        }
+        let mut out = String::new();
+        for (stack, weight) in stacks {
+            out.push_str(&stack);
+            out.push(' ');
+            out.push_str(&weight.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the self-time table as aligned text (deterministic; ends
+    /// with a newline unless the profile is empty).
+    pub fn render_self_time(&self) -> String {
+        let rows = self.self_time_rows();
+        let total: u64 = self.total_self_us().max(1);
+        let mut out = String::new();
+        out.push_str("span                            count   total_us    self_us  self%\n");
+        for r in rows {
+            out.push_str(&format!(
+                "{:<30} {:>6} {:>10} {:>10} {:>6.2}\n",
+                r.name,
+                r.count,
+                r.total_us,
+                r.self_us,
+                100.0 * r.self_us as f64 / total as f64,
+            ));
+        }
+        out
+    }
+
+    /// Renders the critical path: a one-line summary, a per-name
+    /// contribution table, and up to `max_steps` chronological steps with
+    /// the idle gap preceding each (remaining steps elided with a count).
+    pub fn render_critical_path(&self, max_steps: usize) -> String {
+        let path = self.critical_path();
+        let mut out = String::new();
+        if path.is_empty() {
+            out.push_str("critical path: empty trace\n");
+            return out;
+        }
+        let on_path = self.path_duration_us(&path);
+        let (lo, hi) = self.window_us().unwrap_or((0, 0));
+        let window = (hi - lo).max(1);
+        out.push_str(&format!(
+            "critical path: {} spans, {} us on-path over a {} us window ({:.2}% busy)\n",
+            path.len(),
+            on_path,
+            hi - lo,
+            100.0 * on_path as f64 / window as f64,
+        ));
+        // Contribution by span name.
+        let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for &i in &path {
+            let s = &self.spans[i];
+            let e = by_name.entry(&s.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_us;
+        }
+        let mut contrib: Vec<(&str, u64, u64)> =
+            by_name.into_iter().map(|(n, (c, d))| (n, c, d)).collect();
+        contrib.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+        out.push_str("  by contribution:\n");
+        for (name, count, dur) in contrib {
+            out.push_str(&format!(
+                "    {:<30} x{:<5} {:>10} us ({:.2}% of path)\n",
+                name,
+                count,
+                dur,
+                100.0 * dur as f64 / on_path.max(1) as f64,
+            ));
+        }
+        out.push_str("  steps:\n");
+        let mut prev_end = lo;
+        for (n, &i) in path.iter().enumerate() {
+            let s = &self.spans[i];
+            if n >= max_steps {
+                out.push_str(&format!("    ... ({} more steps)\n", path.len() - n));
+                break;
+            }
+            out.push_str(&format!(
+                "    ts={:<10} dur={:<8} gap={:<8} tid={:<3} {}\n",
+                s.ts_us,
+                s.dur_us,
+                s.ts_us.saturating_sub(prev_end),
+                s.tid,
+                s.name,
+            ));
+            prev_end = s.end_us();
+        }
+        out
+    }
+}
+
+/// Extracts counter timelines from `events`: series name →
+/// `(ts_us, value)` samples in emission order. Integer counter values are
+/// widened to `f64`; string args and non-finite floats are skipped. Series
+/// on distinct `(pid, tid)` tracks get a ` [pid/tid]` suffix only when the
+/// same name appears on more than one track, so simple traces keep simple
+/// names.
+pub fn counter_series(events: &[Event]) -> BTreeMap<String, Vec<(u64, f64)>> {
+    // First pass: which counter names appear on multiple tracks?
+    let mut track_of: BTreeMap<&str, Option<(u32, u32)>> = BTreeMap::new();
+    for e in events.iter().filter(|e| e.ph == Phase::Counter) {
+        match track_of.get(e.name.as_str()) {
+            None => {
+                track_of.insert(&e.name, Some((e.pid, e.tid)));
+            }
+            Some(Some(t)) if *t != (e.pid, e.tid) => {
+                track_of.insert(&e.name, None); // multi-track
+            }
+            _ => {}
+        }
+    }
+    let mut series: BTreeMap<String, Vec<(u64, f64)>> = BTreeMap::new();
+    for e in events.iter().filter(|e| e.ph == Phase::Counter) {
+        let value = e.args.iter().find_map(|(_, v)| match v {
+            ArgValue::U64(n) => Some(*n as f64),
+            ArgValue::I64(n) => Some(*n as f64),
+            ArgValue::F64(x) if x.is_finite() => Some(*x),
+            _ => None,
+        });
+        let Some(value) = value else { continue };
+        let key = match track_of.get(e.name.as_str()) {
+            Some(None) => format!("{} [{}/{}]", e.name, e.pid, e.tid),
+            _ => e.name.clone(),
+        };
+        series.entry(key).or_default().push((e.ts_us, value));
+    }
+    series
+}
+
+/// Renders counter timelines as aligned text: one header per series, one
+/// `ts value` line per sample. Deterministic given deterministic input.
+pub fn render_counter_series(series: &BTreeMap<String, Vec<(u64, f64)>>) -> String {
+    let mut out = String::new();
+    for (name, samples) in series {
+        out.push_str(&format!("counter {name} ({} samples)\n", samples.len()));
+        for (ts, v) in samples {
+            let mut line = format!("  {ts:>10} ");
+            crate::json::push_f64(*v, &mut line);
+            line.push('\n');
+            out.push_str(&line);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, tid: u32, ts: u64, dur: u64) -> Event {
+        Event::complete(name, "train", ts, dur).with_tid(tid)
+    }
+
+    #[test]
+    fn nests_by_containment_and_computes_self_time() {
+        // root [0,100) with children [0,30) and [30,90); grandchild [5,15).
+        let events = vec![
+            span("root", 1, 0, 100),
+            span("a", 1, 0, 30),
+            span("a.1", 1, 5, 10),
+            span("b", 1, 30, 60),
+        ];
+        let p = Profile::from_events(&events);
+        assert_eq!(p.roots().len(), 1);
+        let root = &p.spans()[p.roots()[0]];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.self_us, 10); // 100 - 30 - 60
+        let a = &p.spans()[root.children[0]];
+        assert_eq!((a.name.as_str(), a.self_us, a.depth), ("a", 20, 1));
+        // Self-times sum to the root duration: children tile inside parents.
+        assert_eq!(p.total_self_us(), p.total_traced_us());
+        assert_eq!(p.total_traced_us(), 100);
+    }
+
+    #[test]
+    fn tracks_do_not_nest_into_each_other() {
+        let events = vec![span("x", 1, 0, 100), span("y", 2, 10, 20)];
+        let p = Profile::from_events(&events);
+        assert_eq!(p.roots().len(), 2, "different tids are separate forests");
+        assert_eq!(p.track_busy_us()[&(1, 1)], 100);
+        assert_eq!(p.track_busy_us()[&(1, 2)], 20);
+    }
+
+    #[test]
+    fn ties_sort_longer_span_first_so_it_becomes_the_parent() {
+        let events = vec![span("inner", 1, 0, 10), span("outer", 1, 0, 50)];
+        let p = Profile::from_events(&events);
+        let root = &p.spans()[p.roots()[0]];
+        assert_eq!(root.name, "outer");
+        assert_eq!(p.spans()[root.children[0]].name, "inner");
+    }
+
+    #[test]
+    fn critical_path_is_nonoverlapping_and_bounded_by_root() {
+        // One root with two children; a parallel track finishing earlier.
+        let events = vec![
+            span("root", 1, 0, 100),
+            span("a", 1, 0, 40),
+            span("b", 1, 60, 40),
+            span("other", 2, 0, 70),
+        ];
+        let p = Profile::from_events(&events);
+        let path = p.critical_path();
+        let names: Vec<&str> = path.iter().map(|&i| p.spans()[i].name.as_str()).collect();
+        // Last finisher is root/b (end 100); deepest wins: "b". Before
+        // ts=60 the candidates must END by 60 — "other" (end 70) overlaps
+        // "b" and is excluded, so "a" (end 40) precedes it.
+        assert_eq!(names, vec!["a", "b"]);
+        // Non-overlap: each span starts at or after the previous end.
+        for w in path.windows(2) {
+            assert!(p.spans()[w[0]].end_us() <= p.spans()[w[1]].ts_us);
+        }
+        let (lo, hi) = p.window_us().unwrap();
+        assert!(p.path_duration_us(&path) <= hi - lo);
+    }
+
+    #[test]
+    fn critical_path_descends_through_tiling_children() {
+        let events = vec![
+            span("step", 1, 0, 10),
+            span("grad", 1, 0, 6),
+            span("agg", 1, 6, 4),
+        ];
+        let p = Profile::from_events(&events);
+        let names: Vec<&str> = p
+            .critical_path()
+            .iter()
+            .map(|&i| p.spans()[i].name.as_str())
+            .collect();
+        assert_eq!(names, vec!["grad", "agg"]);
+        assert_eq!(p.path_duration_us(&p.critical_path()), 10);
+        assert!(p.path_duration_us(&p.critical_path()) <= p.spans()[p.roots()[0]].dur_us);
+    }
+
+    #[test]
+    fn self_time_rows_aggregate_and_sort() {
+        let events = vec![
+            span("grad", 1, 0, 10),
+            span("grad", 1, 20, 10),
+            span("agg", 1, 40, 5),
+        ];
+        let p = Profile::from_events(&events);
+        let rows = p.self_time_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].name.as_str(), rows[0].count, rows[0].self_us), ("grad", 2, 20));
+        assert_eq!((rows[1].name.as_str(), rows[1].count, rows[1].total_us), ("agg", 1, 5));
+        let table = p.render_self_time();
+        assert!(table.lines().next().unwrap().starts_with("span"));
+        assert_eq!(table.lines().count(), 3);
+    }
+
+    #[test]
+    fn collapsed_stacks_weight_by_self_time() {
+        let events = vec![
+            span("root", 1, 0, 100),
+            span("a", 1, 0, 30),
+            span("a", 1, 40, 30), // same stack twice: weights add
+        ];
+        let p = Profile::from_events(&events);
+        assert_eq!(p.collapsed_stacks(), "root 40\nroot;a 60\n");
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_profile() {
+        let p = Profile::from_events(&[]);
+        assert!(p.spans().is_empty());
+        assert!(p.critical_path().is_empty());
+        assert_eq!(p.window_us(), None);
+        assert_eq!(p.collapsed_stacks(), "");
+        assert!(p.render_critical_path(10).contains("empty trace"));
+    }
+
+    #[test]
+    fn counter_series_extracts_and_disambiguates_tracks() {
+        let events = vec![
+            Event::counter("loss", "train", 0, 0.5f64),
+            Event::counter("loss", "train", 1, 0.25f64),
+            Event::counter("mem", "train", 0, 7u64).with_tid(1),
+            Event::counter("mem", "train", 0, 9u64).with_tid(2),
+            Event::counter("bad", "train", 0, f64::NAN),
+        ];
+        let series = counter_series(&events);
+        assert_eq!(series["loss"], vec![(0, 0.5), (1, 0.25)]);
+        assert_eq!(series["mem [1/1]"], vec![(0, 7.0)]);
+        assert_eq!(series["mem [1/2]"], vec![(0, 9.0)]);
+        assert!(!series.contains_key("bad"), "non-finite samples are skipped");
+        let text = render_counter_series(&series);
+        assert!(text.contains("counter loss (2 samples)"));
+        assert!(text.contains("counter mem [1/2] (1 samples)"));
+    }
+
+    #[test]
+    fn render_critical_path_elides_past_max_steps() {
+        let events: Vec<Event> = (0..10).map(|i| span("s", 1, i * 10, 10)).collect();
+        let p = Profile::from_events(&events);
+        let full = p.render_critical_path(100);
+        assert!(full.contains("critical path: 10 spans, 100 us on-path"));
+        assert!(!full.contains("more steps"));
+        let short = p.render_critical_path(3);
+        assert!(short.contains("... (7 more steps)"));
+        // Rendering is a pure function: repeat calls are byte-identical.
+        assert_eq!(full, p.render_critical_path(100));
+    }
+}

@@ -191,6 +191,41 @@ mod tests {
     }
 
     #[test]
+    fn clock_stays_monotonic_under_interleaved_set_and_advance() {
+        // The contract profiled traces rely on: however absolute sets and
+        // relative advances interleave, now_us() never decreases, absolute
+        // sets act as a monotonic max, and advances always move forward.
+        let obs = Recorder::new(RingSink::unbounded());
+        let mut last = obs.now_us();
+        let ops: &[(&str, u64)] = &[
+            ("set", 100),
+            ("adv", 10),   // 110
+            ("set", 50),   // ignored: in the past
+            ("adv", 5),    // 115
+            ("set", 115),  // exact-present set is a no-op
+            ("set", 200),  // jumps forward
+            ("adv", 0),    // zero advance holds position
+            ("adv", 1),    // 201
+            ("set", 201),  // no-op again
+        ];
+        for &(op, v) in ops {
+            match op {
+                "set" => obs.set_time_us(v),
+                _ => obs.advance_us(v),
+            }
+            let now = obs.now_us();
+            assert!(now >= last, "clock went backwards: {last} -> {now} after {op}({v})");
+            last = now;
+        }
+        assert_eq!(obs.now_us(), 201);
+        // Seconds-based sets share the same max semantics, with rounding.
+        obs.set_time_s(0.000_1); // 100us, far in the past
+        assert_eq!(obs.now_us(), 201);
+        obs.set_time_s(0.001); // 1000us, future
+        assert_eq!(obs.now_us(), 1_000);
+    }
+
+    #[test]
     fn shared_sink_sees_events_from_clones() {
         let ring = Arc::new(RingSink::unbounded());
         let a = Recorder::with_sink(ring.clone());

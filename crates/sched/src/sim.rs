@@ -143,13 +143,23 @@ pub fn run_trace(
     run_trace_traced(trace, scheduler, config, &Recorder::disabled())
 }
 
+/// Logical `tid` block for per-job tracks (`job N` → `JOB_TID_BASE + N`),
+/// disjoint from trainer VN tracks (small integers) and per-device tracks
+/// (`vf_device::obs::DEVICE_TID_BASE` block).
+const JOB_TID_BASE: u32 = 2000;
+
 /// [`run_trace`] with a trace recorder attached.
 ///
-/// Emits `sched` events on the simulator's own clock: one instant per job
-/// arrival and completion, and `queue_depth` / `running` / `capacity` /
-/// `gpus_busy` counters after every scheduling event. The simulator is
-/// single-threaded and event-ordered, so the emitted stream is
-/// bit-identical across repeat runs and thread-count settings.
+/// Emits `sched` events on the simulator's own clock, offset by the
+/// recorder's clock at entry (so a simulation recorded after a training
+/// run lands *after* it on the timeline, like every other traced
+/// component): one instant per job arrival and completion, a
+/// `job{N}/run` complete span over each job's service interval (first
+/// allocation → completion, on its own track), and `queue_depth` /
+/// `running` / `capacity` / `gpus_busy` / `busy_gpu_s` counters after
+/// every scheduling event. The simulator is single-threaded and
+/// event-ordered, so the emitted stream is bit-identical across repeat
+/// runs and thread-count settings.
 ///
 /// # Panics
 ///
@@ -161,6 +171,9 @@ pub fn run_trace_traced(
     obs: &Recorder,
 ) -> SimResult {
     let device = DeviceProfile::of(config.device_type);
+    // Everything below stamps simulated seconds relative to this base, so
+    // back-to-back recorded components never interleave on the timeline.
+    let base_us = obs.now_us();
     let mut arrivals: Vec<JobSpec> = trace.to_vec();
     for j in &arrivals {
         assert!(
@@ -258,7 +271,7 @@ pub fn run_trace_traced(
             capacity = e.num_gpus.min(config.num_gpus);
         }
         // Simulated seconds → event-timestamp microseconds.
-        let now_us = (now.max(0.0) * 1e6).round() as u64;
+        let now_us = base_us + (now.max(0.0) * 1e6).round() as u64;
         obs.set_time_us(now_us);
         while let Some(spec) = pending.next_if(|j| j.arrival_s <= now) {
             obs.record_with(|| {
@@ -286,6 +299,22 @@ pub fn run_trace_traced(
                 }
                 e.with_arg("resizes", job.resizes)
             });
+            // The job's whole service interval as a complete span on its
+            // own track, so the profiler sees scheduler occupancy (queue
+            // time excluded: the span starts at first allocation).
+            if let Some(started) = job.started_at_s {
+                let start_us = base_us + (started.max(0.0) * 1e6).round() as u64;
+                obs.record_with(|| {
+                    Event::complete(
+                        format!("job{}/run", id.0),
+                        "sched",
+                        start_us,
+                        now_us.saturating_sub(start_us).max(1),
+                    )
+                    .with_tid(JOB_TID_BASE + id.0)
+                    .with_arg("resizes", job.resizes)
+                });
+            }
             done.push(job);
         }
 
@@ -325,6 +354,7 @@ pub fn run_trace_traced(
             obs.emit(Event::counter("sched/running", "sched", now_us, running));
             obs.emit(Event::counter("sched/capacity", "sched", now_us, capacity));
             obs.emit(Event::counter("sched/gpus_busy", "sched", now_us, total));
+            obs.emit(Event::counter("sched/busy_gpu_s", "sched", now_us, busy_integral));
         }
         timeline.push(AllocationSample {
             time_s: now,

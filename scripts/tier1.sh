@@ -25,4 +25,10 @@ cargo run --release -q -p vf-bench --bin chaos_bench -- --smoke
 echo "== tier 1: trace smoke (export byte-identical across pool sizes) =="
 cargo run --release -q -p vf-bench --bin trace_report -- --smoke
 
+echo "== tier 1: profile smoke (critical path + self-time invariants) =="
+cargo run --release -q -p vf-bench --bin trace_profile -- --smoke
+
+echo "== tier 1: bench gate (committed history vs committed baseline) =="
+cargo run --release -q -p vf-bench --bin bench_gate
+
 echo "tier 1 OK"
