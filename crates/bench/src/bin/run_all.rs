@@ -37,6 +37,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablate_conv_repro",
     "kernel_bench",
     "chaos_bench",
+    "overlap_bench",
     "trace_report",
     "trace_profile",
     // Last: diff the fresh history records against the committed baseline.

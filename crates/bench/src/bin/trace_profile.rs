@@ -40,7 +40,7 @@ use vf_models::profile::resnet50;
 use vf_models::trainable::Architecture;
 use vf_models::Mlp;
 use vf_obs::profile::{counter_series, render_counter_series};
-use vf_obs::{Event, HistoryRecord, Metrics, Profile, Recorder, RingSink};
+use vf_obs::{Event, HistoryRecord, Metrics, Phase, Profile, Recorder, RingSink};
 use vf_sched::trace::three_job_trace;
 use vf_sched::{run_trace_traced, ElasticWfs, SimConfig};
 use vf_tensor::pool;
@@ -106,6 +106,9 @@ fn run_scenario(steps: u64) -> (Vec<Event>, ChaosReport) {
         .with_preemptions(SpotModel::new(400.0, 50.0).expect("valid"));
     let mut cfg = ChaosConfig::new(plan, steps);
     cfg.comm = Some(CommFaultModel::new(SEED, 0.03, 0.005, 0.02));
+    // Overlapped execution: per-parameter buckets, collectives pipelined
+    // under the backward window (asserted on the trace in `main`).
+    cfg.bucket_bytes = Some(64);
     cfg.cooldown_s = 90.0;
     cfg.bootstrap_s = 20.0;
     let mut sup = ChaosSupervisor::new(
@@ -134,6 +137,124 @@ fn run_scenario(steps: u64) -> (Vec<Event>, ChaosReport) {
     emit_device_memory(&obs, 1, &DeviceProfile::of(DeviceType::Rtx2080Ti), 2);
 
     (sink.events(), out.report)
+}
+
+/// Backward windows (`step/backward` spans) and bucket-collective start
+/// times (`allreduce` spans) of a trace, in emission order.
+fn overlap_spans(events: &[Event]) -> (Vec<(u64, u64)>, Vec<u64>) {
+    let windows = events
+        .iter()
+        .filter(|e| e.name == "step/backward" && e.ph == Phase::Complete)
+        .map(|e| (e.ts_us, e.ts_us + e.dur_us))
+        .collect();
+    let collectives = events
+        .iter()
+        .filter(|e| e.name == "allreduce" && e.ph == Phase::Complete)
+        .map(|e| e.ts_us)
+        .collect();
+    (windows, collectives)
+}
+
+/// Checks the overlap structure of a bucketed trace: for every backward
+/// window, the first collective launched at-or-after the window opens must
+/// start *inside* it — bucket 0 is ready the moment the backward tail
+/// begins, so a first collective outside its window means the pipelining
+/// silently degraded to sync-after-compute.
+fn check_first_collective_in_window(events: &[Event]) -> Result<usize, String> {
+    let (windows, mut collectives) = overlap_spans(events);
+    if windows.is_empty() {
+        return Err("no step/backward windows in the trace".to_string());
+    }
+    if collectives.is_empty() {
+        return Err("no allreduce spans in the trace".to_string());
+    }
+    collectives.sort_unstable();
+    for &(lo, hi) in &windows {
+        match collectives.iter().find(|&&ts| ts >= lo) {
+            Some(&ts) if ts <= hi => {}
+            got => {
+                return Err(format!(
+                    "window [{lo},{hi}]us: first collective at {got:?} — not inside"
+                ))
+            }
+        }
+    }
+    Ok(windows.len())
+}
+
+/// A fault-free paired run proving the overlap claim on the trace itself:
+/// same job, same (scaled) link, once with per-parameter buckets pipelined
+/// under the backward window and once through the legacy sync-after-compute
+/// path. The bucketed trace must nest *every* collective inside a backward
+/// window, and both its simulated time and its profile critical path must
+/// not exceed the legacy run's.
+fn overlap_proof() -> Result<String, String> {
+    const PROOF_STEPS: u64 = 8;
+    let run = |bucket_bytes: Option<u64>| {
+        let (arch, dataset, config) = parts();
+        let mut cfg = ChaosConfig::new(FaultPlan::new(SEED), PROOF_STEPS);
+        cfg.bucket_bytes = bucket_bytes;
+        // Legacy path: still traced (quiet fault model), still additive.
+        cfg.comm = Some(CommFaultModel::quiet(SEED));
+        // The bench MLP's gradient is under a kilobyte; scale the link so
+        // sync is a realistic ~12% of the step (see overlap_bench), while
+        // keeping each bucket's collective shorter than the bucket ready
+        // spacing — then every launch lands inside the backward window
+        // instead of queueing on the comm lane past the end of compute.
+        cfg.link = vf_comm::LinkProfile {
+            latency_s: 100.0e-6,
+            bandwidth: 4.0e3,
+        };
+        let sink = Arc::new(RingSink::unbounded());
+        let mut sup = ChaosSupervisor::new(arch, dataset, config, &devices(0..4), &[], cfg)
+            // vf-lint: allow(panic-ratchet) — harness aborts loudly on setup failure
+            .expect("supervisor");
+        sup.set_recorder(Recorder::with_sink(sink.clone()));
+        // vf-lint: allow(panic-ratchet) — fault-free plan cannot kill the run
+        let out = sup.run().expect("fault-free run survives");
+        (sink.events(), out.report.sim_time_s)
+    };
+    let (bucketed, sim_bucketed) = run(Some(64));
+    let (legacy, sim_legacy) = run(None);
+
+    let (windows, collectives) = overlap_spans(&bucketed);
+    if windows.len() != PROOF_STEPS as usize {
+        return Err(format!(
+            "want {PROOF_STEPS} backward windows, got {}",
+            windows.len()
+        ));
+    }
+    for &ts in &collectives {
+        if !windows.iter().any(|&(lo, hi)| ts >= lo && ts <= hi) {
+            return Err(format!(
+                "collective at {ts}us starts outside every backward window {windows:?}"
+            ));
+        }
+    }
+    if sim_bucketed >= sim_legacy {
+        return Err(format!(
+            "bucketed sim time {sim_bucketed:.4}s not below legacy {sim_legacy:.4}s"
+        ));
+    }
+    let cp = |events: &[Event]| {
+        let p = Profile::from_events(events);
+        p.path_duration_us(&p.critical_path())
+    };
+    let (cp_bucketed, cp_legacy) = (cp(&bucketed), cp(&legacy));
+    if cp_bucketed > cp_legacy {
+        return Err(format!(
+            "bucketed critical path {cp_bucketed}us exceeds legacy {cp_legacy}us"
+        ));
+    }
+    Ok(format!(
+        "{} collectives inside {} windows; sim {:.2}s < {:.2}s; path {}us <= {}us",
+        collectives.len(),
+        windows.len(),
+        sim_bucketed,
+        sim_legacy,
+        cp_bucketed,
+        cp_legacy,
+    ))
 }
 
 /// The human-readable label of a logical `tid` track.
@@ -227,6 +348,26 @@ fn main() -> ExitCode {
         hi - lo,
         profile.total_traced_us()
     );
+
+    // Overlap structure on the faulty trace: every step's first bucket
+    // collective must launch inside that step's backward window, even with
+    // comm faults retrying collectives mid-flight.
+    match check_first_collective_in_window(&events) {
+        Ok(n) => println!("overlap: first collective inside each of {n} backward windows"),
+        Err(e) => {
+            eprintln!("FAIL: overlap structure broken on the chaos trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // And the quiet paired run: full nesting plus a critical path no longer
+    // than the legacy sync-after-compute schedule.
+    match overlap_proof() {
+        Ok(msg) => println!("overlap proof: {msg}"),
+        Err(e) => {
+            eprintln!("FAIL: overlap proof: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let dir = results_dir();
     // vf-lint: allow(panic-ratchet) — harness has nothing to do without its outputs

@@ -60,6 +60,25 @@ pub fn ring_allreduce_time_s(bytes: u64, workers: usize, link: &LinkProfile) -> 
     phases * (link.latency_s + (bytes as f64 / n) / link.bandwidth)
 }
 
+/// Splits `total` bytes into fixed gradient buckets of at most `bucket`
+/// bytes each: full buckets first, the remainder (if any) last. The split
+/// is a pure function of the two sizes — never of arrival order — which is
+/// what lets bucketed collectives overlap the backward pass without
+/// perturbing the reduction order. A zero `bucket` degrades to one bucket.
+pub fn split_bucket_bytes(total: u64, bucket: u64) -> Vec<u64> {
+    if total == 0 || bucket == 0 || bucket >= total {
+        return vec![total];
+    }
+    let mut out = Vec::with_capacity(total.div_ceil(bucket) as usize);
+    let mut left = total;
+    while left > 0 {
+        let b = left.min(bucket);
+        out.push(b);
+        left -= b;
+    }
+    out
+}
+
 /// Numerically reduces each worker's tensor to their mean, in worker-rank
 /// order.
 ///
@@ -141,6 +160,36 @@ mod tests {
         let parts: Vec<Tensor> = (0..5).map(|i| Tensor::full([3], i as f32)).collect();
         let r = allreduce_sum(&parts, ReductionOrder::Sequential).unwrap();
         assert_eq!(r.data(), &[10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn bucket_split_is_exact_and_deterministic() {
+        assert_eq!(split_bucket_bytes(100, 30), vec![30, 30, 30, 10]);
+        assert_eq!(split_bucket_bytes(90, 30), vec![30, 30, 30]);
+        assert_eq!(split_bucket_bytes(10, 30), vec![10]);
+        assert_eq!(split_bucket_bytes(10, 0), vec![10]);
+        assert_eq!(split_bucket_bytes(0, 30), vec![0]);
+        for total in [1u64, 7, 64, 272, 1 << 20] {
+            for bucket in [1u64, 3, 64, 1 << 10] {
+                let parts = split_bucket_bytes(total, bucket);
+                assert_eq!(parts.iter().sum::<u64>(), total);
+                assert!(parts.iter().all(|&b| b <= bucket.max(total)));
+            }
+        }
+    }
+
+    #[test]
+    fn bucketing_pays_extra_latency_but_same_volume() {
+        // K bucketed all-reduces move the same bytes as one big one; only
+        // the per-collective latency term is paid K times.
+        let l = LinkProfile::paper_testbed();
+        let total = 100u64 << 20;
+        let parts = split_bucket_bytes(total, 10 << 20);
+        let bucketed: f64 = parts.iter().map(|&b| ring_allreduce_time_s(b, 8, &l)).sum();
+        let single = ring_allreduce_time_s(total, 8, &l);
+        assert!(bucketed > single);
+        let extra_latency = (parts.len() - 1) as f64 * 2.0 * 7.0 * l.latency_s;
+        assert!((bucketed - single - extra_latency).abs() < 1e-9);
     }
 
     #[test]

@@ -37,6 +37,22 @@ fn unit_open(z: u64) -> f64 {
     ((mix64(z) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
 }
 
+/// The fault stream of bucket `bucket` of the gradient collective at
+/// training step `step`.
+///
+/// Bucketed overlap runs one collective per gradient bucket per step, so
+/// each needs its own independent draw stream. Bucket 0 maps to `step`
+/// itself — a single-bucket run draws exactly the fault sequence the
+/// historical one-collective-per-step path drew, keeping committed chaos
+/// trajectories stable.
+pub fn collective_stream(step: u64, bucket: u32) -> u64 {
+    if bucket == 0 {
+        step
+    } else {
+        mix64(step.wrapping_mul(0x0000_0100_0000_01B3).wrapping_add(u64::from(bucket)))
+    }
+}
+
 /// A seeded model of communication faults per collective attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CommFaultModel {
@@ -80,6 +96,23 @@ impl CommFaultModel {
             straggler_prob: clamp(straggler_prob),
             straggler_slowdown: 10.0,
             timeout_s: 30.0,
+        }
+    }
+
+    /// The model rescaled for a collective carrying a `share` of the full
+    /// gradient's bytes: fault probabilities are per *attempt*, so a step
+    /// split into K bucket collectives would otherwise see ~K× the fault
+    /// exposure of the single-sync step over the same wire time. Scaling
+    /// each bucket's probabilities by its byte share keeps the expected
+    /// faults per step invariant to bucketing. `share = 1` is the
+    /// identity, so a single bucket draws exactly the legacy model.
+    pub fn scaled(&self, share: f64) -> Self {
+        let share = if share.is_finite() { share.clamp(0.0, 1.0) } else { 1.0 };
+        CommFaultModel {
+            timeout_prob: self.timeout_prob * share,
+            abort_prob: self.abort_prob * share,
+            straggler_prob: self.straggler_prob * share,
+            ..*self
         }
     }
 
@@ -342,6 +375,24 @@ mod tests {
     }
 
     #[test]
+    fn scaled_model_keeps_expected_faults_invariant_to_bucketing() {
+        let m = CommFaultModel::new(5, 0.2, 0.1, 0.1);
+        // Full share is the identity: a single bucket draws the legacy model.
+        assert_eq!(m.scaled(1.0), m);
+        // K equal buckets each carry 1/K the probability mass.
+        let b = m.scaled(0.25);
+        assert_eq!(b.timeout_prob, 0.05);
+        assert_eq!(b.abort_prob, 0.025);
+        assert_eq!(b.straggler_prob, 0.025);
+        assert_eq!(b.timeout_s, m.timeout_s);
+        assert_eq!(b.straggler_slowdown, m.straggler_slowdown);
+        // Degenerate shares stay safe.
+        assert_eq!(m.scaled(0.0).timeout_prob, 0.0);
+        assert_eq!(m.scaled(f64::NAN), m);
+        assert_eq!(m.scaled(7.0), m);
+    }
+
+    #[test]
     fn draws_are_deterministic_and_stream_independent() {
         let m = CommFaultModel::new(5, 0.2, 0.1, 0.1);
         for stream in 0..8 {
@@ -446,6 +497,28 @@ mod tests {
         let a = allreduce_with_recovery(&m, 3, 1 << 20, 8, &link(), 16);
         let b = allreduce_with_recovery_traced(&m, 3, 1 << 20, 8, &link(), 16, &Recorder::disabled());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bucket_streams_are_deterministic_and_legacy_compatible() {
+        // Bucket 0 is the legacy per-step stream; other buckets get their
+        // own streams, distinct across both bucket and step.
+        for step in 0..64 {
+            assert_eq!(collective_stream(step, 0), step);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for step in 0..32u64 {
+            for bucket in 0..16u32 {
+                assert!(
+                    seen.insert(collective_stream(step, bucket)),
+                    "stream collision at step {step} bucket {bucket}"
+                );
+                assert_eq!(
+                    collective_stream(step, bucket),
+                    collective_stream(step, bucket)
+                );
+            }
+        }
     }
 
     #[test]

@@ -39,11 +39,17 @@ use crate::{CoreError, TrainerConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
-use vf_comm::chaos::{allreduce_with_recovery_traced, ring_reform_time_s, CommFaultModel};
+use vf_comm::allreduce::split_bucket_bytes;
+use vf_comm::chaos::{
+    allreduce_with_recovery_traced, collective_stream, ring_reform_time_s, CommFaultModel,
+};
 use vf_comm::membership::{ElasticGroup, WorkerId};
 use vf_comm::LinkProfile;
 use vf_data::Dataset;
-use vf_device::{Backoff, BackoffPolicy, DeviceId, FaultKind, FaultPlan, PlannedFault, SimClock};
+use vf_device::obs::emit_backward_window;
+use vf_device::{
+    Backoff, BackoffPolicy, DeviceId, FaultKind, FaultPlan, PlannedFault, SimClock, TwoLaneClock,
+};
 use vf_models::trainable::Architecture;
 use vf_obs::{Event, Recorder};
 
@@ -87,6 +93,17 @@ pub struct ChaosConfig {
     /// Horizon the fault plan is materialized over. Must comfortably
     /// exceed the simulated run time; events beyond the end never fire.
     pub events_horizon_s: f64,
+    /// Gradient-bucket byte threshold for overlapped execution. `None`
+    /// (the default) keeps the legacy schedule: one allreduce serialized
+    /// after all compute. `Some(b)` splits the sync into buckets pipelined
+    /// against the final wave's backward window on a second clock lane.
+    #[serde(default)]
+    pub bucket_bytes: Option<u64>,
+    /// Fraction of one wave's compute that is backward pass — the window
+    /// bucketed collectives may overlap. Only read when `bucket_bytes` is
+    /// set; clamped to `[0, 1]`.
+    #[serde(default)]
+    pub backward_fraction: f64,
 }
 
 impl ChaosConfig {
@@ -108,6 +125,8 @@ impl ChaosConfig {
             restore_s: 60.0,
             cooldown_s: 300.0,
             events_horizon_s: steps as f64 * 30.0 + 3_600.0,
+            bucket_bytes: None,
+            backward_fraction: 0.5,
         }
     }
 }
@@ -150,6 +169,14 @@ pub struct ChaosReport {
     pub min_fleet: usize,
     /// Fleet size at the end of the run.
     pub final_fleet: usize,
+    /// Total communication time charged across all steps, in seconds.
+    #[serde(default)]
+    pub comm_total_s: f64,
+    /// Communication time *not* hidden under compute: with the legacy
+    /// schedule this equals `comm_total_s`; with overlapped execution it is
+    /// only the part sticking out past each step's backward window.
+    #[serde(default)]
+    pub comm_exposed_s: f64,
 }
 
 impl ChaosReport {
@@ -224,7 +251,11 @@ impl ChaosSupervisor {
         spares: &[DeviceId],
         cfg: ChaosConfig,
     ) -> Result<Self, CoreError> {
-        let trainer = Trainer::new(arch.clone(), dataset.clone(), config, devices)?;
+        let mut trainer = Trainer::new(arch.clone(), dataset.clone(), config, devices)?;
+        // The real executor mirrors the simulated bucket plan, so the
+        // pipelined reduction runs (and its trajectory equality is
+        // exercised) whenever the time model is overlapped.
+        trainer.set_bucket_bytes(cfg.bucket_bytes);
         let mut universe: Vec<DeviceId> = devices.iter().chain(spares.iter()).copied().collect();
         universe.sort_unstable();
         universe.dedup();
@@ -565,8 +596,10 @@ impl ChaosSupervisor {
             &fleet,
         )?;
         // The rebuilt trainer starts with a disabled recorder; re-attach
-        // ours so the replayed steps keep tracing.
+        // ours so the replayed steps keep tracing, and restore the bucket
+        // plan the checkpoint does not carry.
         self.trainer.set_recorder(self.obs.clone());
+        self.trainer.set_bucket_bytes(self.cfg.bucket_bytes);
         self.group = ElasticGroup::new(fleet.iter().map(|d| WorkerId(d.0)));
         self.clock.advance(self.cfg.restore_s);
         self.obs.record_with(|| {
@@ -594,7 +627,10 @@ impl ChaosSupervisor {
     }
 
     /// One training step: waves of compute, then the (possibly faulty)
-    /// gradient all-reduce, all charged to the simulated clock.
+    /// gradient all-reduce, all charged to the simulated clock. With
+    /// `bucket_bytes` set the sync is bucketed and pipelined against the
+    /// final wave's backward window on a second clock lane; the step then
+    /// ends at the *join* of the lanes rather than their sum.
     fn execute_step(&mut self) -> Result<(), CoreError> {
         // Faults handled this iteration advanced the clock past the loop's
         // snapshot; re-sync so step and comm events are stamped correctly.
@@ -603,8 +639,26 @@ impl ChaosSupervisor {
         let waves = self.trainer.mapping().waves();
         self.obs
             .record_with(|| Event::counter("chaos/fleet", "chaos", self.obs.now_us(), workers));
-        let mut elapsed = self.cfg.compute_s_per_wave * waves as f64;
-        if let Some(comm) = &self.cfg.comm {
+        let compute_s = self.cfg.compute_s_per_wave * waves as f64;
+        // The backward tail exists whether or not sync is bucketed; the
+        // overlapped path records it inside `overlapped_sync_time_s`, and
+        // recording it on the legacy paths too keeps traces comparable —
+        // the critical-path delta between the two schedules is then
+        // exactly the communication hidden under the window.
+        if self.cfg.bucket_bytes.is_none() {
+            let window = (self.cfg.backward_fraction.clamp(0.0, 1.0)
+                * self.cfg.compute_s_per_wave)
+                .min(compute_s);
+            emit_backward_window(
+                &self.obs,
+                self.trainer.steps_done(),
+                self.clock.now() + compute_s - window,
+                window,
+            );
+        }
+        let elapsed = if self.cfg.bucket_bytes.is_some() {
+            self.overlapped_sync_time_s(compute_s, workers)?
+        } else if let Some(comm) = &self.cfg.comm {
             let outcome = allreduce_with_recovery_traced(
                 comm,
                 self.trainer.steps_done(),
@@ -615,21 +669,89 @@ impl ChaosSupervisor {
                 &self.obs,
             )
             .map_err(|e| CoreError::CommPartitioned { attempts: e.attempts })?;
-            elapsed += outcome.time_s;
             self.report.comm_timeouts += outcome.timeouts as usize;
             self.report.comm_aborts += outcome.aborts as usize;
             self.report.comm_stragglers += outcome.stragglers as usize;
+            self.report.comm_total_s += outcome.time_s;
+            self.report.comm_exposed_s += outcome.time_s;
+            compute_s + outcome.time_s
         } else {
-            elapsed += vf_comm::allreduce::ring_allreduce_time_s(
+            let comm_s = vf_comm::allreduce::ring_allreduce_time_s(
                 self.param_bytes,
                 workers,
                 &self.cfg.link,
             );
-        }
+            self.report.comm_total_s += comm_s;
+            self.report.comm_exposed_s += comm_s;
+            compute_s + comm_s
+        };
         self.trainer.step()?;
         self.clock.advance(elapsed);
         self.report.min_fleet = self.report.min_fleet.min(workers);
         Ok(())
+    }
+
+    /// Simulated duration of one overlapped step: compute advances one
+    /// lane; each gradient bucket's (possibly faulty) collective runs on
+    /// the comm lane as soon as its backward slice is done and the lane is
+    /// free. Fault draws use per-bucket streams (with probabilities scaled
+    /// by byte share, so fault exposure is invariant to bucketing) and
+    /// retries recover per-bucket; trajectories stay bit-exact throughout.
+    fn overlapped_sync_time_s(&mut self, compute_s: f64, workers: usize) -> Result<f64, CoreError> {
+        let step = self.trainer.steps_done();
+        let t0 = self.clock.now();
+        // The overlappable window is the backward tail of the final wave.
+        let window =
+            (self.cfg.backward_fraction.clamp(0.0, 1.0) * self.cfg.compute_s_per_wave).min(compute_s);
+        let window_start = t0 + compute_s - window;
+        emit_backward_window(&self.obs, step, window_start, window);
+
+        // vf-lint: allow(panic-ratchet) — execute_step only calls this when bucket_bytes is set
+        let bucket_bytes = self.cfg.bucket_bytes.expect("overlapped path requires bucket_bytes");
+        let sizes = split_bucket_bytes(self.param_bytes, bucket_bytes);
+        let ready = crate::overlap::bucket_ready_times(window_start, window, sizes.len());
+        let quiet;
+        let model = match &self.cfg.comm {
+            Some(m) => m,
+            None => {
+                quiet = CommFaultModel::quiet(0);
+                &quiet
+            }
+        };
+        let mut lanes = TwoLaneClock::new(t0);
+        lanes.advance_compute(compute_s);
+        let mut comm_total = 0.0;
+        let total_bytes: u64 = sizes.iter().sum();
+        for (b, bytes) in sizes.iter().enumerate() {
+            let start = lanes.begin_comm(ready[b]);
+            // Bucket starts are nondecreasing, so this never rewinds the
+            // recorder; comm spans land inside (or after) the backward
+            // window, which is exactly what the trace-structure checks
+            // assert.
+            self.obs.set_time_s(start);
+            // Per-attempt fault probabilities are scaled by the bucket's
+            // byte share: fault exposure tracks bytes on the wire, so a
+            // step's expected fault count is invariant to bucketing.
+            let bucket_model = model.scaled(*bytes as f64 / total_bytes.max(1) as f64);
+            let outcome = allreduce_with_recovery_traced(
+                &bucket_model,
+                collective_stream(step, b as u32),
+                *bytes,
+                workers,
+                &self.cfg.link,
+                self.cfg.max_collective_attempts,
+                &self.obs,
+            )
+            .map_err(|e| CoreError::CommPartitioned { attempts: e.attempts })?;
+            lanes.advance_comm(outcome.time_s);
+            comm_total += outcome.time_s;
+            self.report.comm_timeouts += outcome.timeouts as usize;
+            self.report.comm_aborts += outcome.aborts as usize;
+            self.report.comm_stragglers += outcome.stragglers as usize;
+        }
+        self.report.comm_total_s += comm_total;
+        self.report.comm_exposed_s += lanes.exposed_comm_s();
+        Ok(lanes.join() - t0)
     }
 
     /// Periodic checkpoint for the last-resort path.
@@ -879,6 +1001,90 @@ mod tests {
         assert_eq!(with_time(f64::NAN).goodput_vs(&baseline), 1.0);
         assert_eq!(ran.goodput_vs(&with_time(f64::NAN)), 1.0);
         assert_eq!(with_time(f64::INFINITY).goodput_vs(&baseline), 1.0);
+    }
+
+    #[test]
+    fn overlapped_sync_shrinks_sim_time_and_keeps_the_trajectory() {
+        let mk = |bucket: Option<u64>| {
+            let (arch, dataset, config) = parts(9);
+            let mut cfg = ChaosConfig::new(FaultPlan::new(9), 30);
+            cfg.bucket_bytes = bucket;
+            ChaosSupervisor::new(arch, dataset, config, &devices(0..4), &devices(8..12), cfg)
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let legacy = mk(None);
+        let overlapped = mk(Some(64));
+        // The tiny MLP's comm hides entirely under the backward window, so
+        // overlap strictly beats the additive schedule.
+        assert!(
+            overlapped.report.sim_time_s < legacy.report.sim_time_s,
+            "overlapped {} vs legacy {}",
+            overlapped.report.sim_time_s,
+            legacy.report.sim_time_s
+        );
+        assert_eq!(overlapped.report.comm_exposed_s, 0.0);
+        assert!(overlapped.report.comm_total_s > 0.0);
+        // Legacy charges every comm second as exposed.
+        assert_eq!(legacy.report.comm_exposed_s, legacy.report.comm_total_s);
+        // Multi-bucket pipelined reduction in the real executor lands on
+        // bit-identical parameters.
+        assert_eq!(overlapped.trainer.params(), legacy.trainer.params());
+        assert_eq!(overlapped.trainer.params(), &fault_free_params(9, 30)[..]);
+    }
+
+    #[test]
+    fn overlapped_chaos_keeps_bit_exact_trajectories_under_faults() {
+        let (arch, dataset, config) = parts(11);
+        let plan = FaultPlan::new(11).with_crashes(FailureModel::new(300.0, 11).unwrap());
+        let mut cfg = ChaosConfig::new(plan, 40);
+        cfg.comm = Some(CommFaultModel::new(11, 0.1, 0.02, 0.05));
+        cfg.bucket_bytes = Some(128);
+        cfg.cooldown_s = 60.0;
+        let out =
+            ChaosSupervisor::new(arch, dataset, config, &devices(0..4), &devices(8..16), cfg)
+                .unwrap()
+                .run()
+                .unwrap();
+        assert_eq!(out.report.steps, 40);
+        // Comm faults (now drawn per-bucket) cost time, never values.
+        assert_eq!(out.trainer.params(), &fault_free_params(11, 40)[..]);
+        assert!(out.report.comm_exposed_s <= out.report.comm_total_s);
+    }
+
+    #[test]
+    fn overlapped_trace_nests_collectives_inside_the_backward_window() {
+        use vf_obs::{Phase, Recorder, RingSink};
+        let (arch, dataset, config) = parts(12);
+        let mut cfg = ChaosConfig::new(FaultPlan::new(12), 3);
+        cfg.bucket_bytes = Some(64);
+        let mut sup =
+            ChaosSupervisor::new(arch, dataset, config, &devices(0..4), &[], cfg).unwrap();
+        let sink = Arc::new(RingSink::unbounded());
+        sup.set_recorder(Recorder::with_sink(sink.clone()));
+        sup.run().unwrap();
+        let events = sink.events();
+        let windows: Vec<(u64, u64)> = events
+            .iter()
+            .filter(|e| e.name == "step/backward" && e.ph == Phase::Complete)
+            .map(|e| (e.ts_us, e.ts_us + e.dur_us))
+            .collect();
+        assert_eq!(windows.len(), 3, "one backward window per step");
+        let collectives: Vec<u64> = events
+            .iter()
+            .filter(|e| e.name == "allreduce" && e.ph == Phase::Complete)
+            .map(|e| e.ts_us)
+            .collect();
+        assert!(!collectives.is_empty());
+        // Every bucket collective starts inside some step's backward
+        // window: the trace itself proves the overlap.
+        for ts in collectives {
+            assert!(
+                windows.iter().any(|&(lo, hi)| ts >= lo && ts <= hi),
+                "allreduce at {ts}us outside every backward window {windows:?}"
+            );
+        }
     }
 
     #[test]

@@ -22,12 +22,15 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::config::TrainerConfig;
+use crate::overlap::BucketPlan;
 use crate::vnode::{MigrationPlan, VirtualNodeId, VnMapping};
 use crate::CoreError;
-use std::collections::BTreeMap;
+// vf-lint: allow(hash-iteration) — HashMap used only for keyed lookups (never iterated)
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use vf_data::batching::{shard_indices, BatchPlan, VisitLedger};
 use vf_data::partitioned::PartitionedPlan;
+use vf_data::prefetch::Prefetcher;
 use vf_data::{Dataset, DistributionMode};
 use vf_device::DeviceId;
 use vf_models::trainable::{Architecture, EvalReport, StatefulState};
@@ -35,6 +38,7 @@ use vf_obs::{Event, Recorder};
 use vf_tensor::ops::clip_global_norm;
 use vf_tensor::optim::Optimizer;
 use vf_tensor::reduce;
+use vf_tensor::reduce::ReductionOrder;
 use vf_tensor::Tensor;
 
 /// The batch plan in use, depending on the dataset distribution mode.
@@ -73,6 +77,53 @@ impl DataPlan {
             }
         }
     }
+}
+
+/// The VN batches a prefetch worker stages for one step: one
+/// `(features, labels)` pair per virtual node, in VN order.
+type StagedBatches = Result<Vec<(Tensor, Vec<usize>)>, CoreError>;
+
+/// What one pool task of the wave-phased executor produced.
+enum TaskOut {
+    /// One virtual node's backward pass on one device.
+    Device {
+        device_idx: usize,
+        vn: usize,
+        grads: Vec<Tensor>,
+        loss: f32,
+        stateful: StatefulState,
+    },
+    /// Partial tree-combine values for one gradient bucket, keyed by
+    /// `(level, node, param)`.
+    Combine(Vec<((usize, usize, usize), Tensor)>),
+}
+
+/// Looks up a reduction-tree input: a leaf gradient (level 0), a node
+/// merged from an earlier phase, or a node this task computed moments ago
+/// (same-phase parent/child chains resolve through `local`).
+fn node_value<'a>(
+    level: usize,
+    node: usize,
+    param: usize,
+    vn_grads: &'a [Option<Vec<Tensor>>],
+    combined: &'a [Vec<Vec<Option<Tensor>>>],
+    out: &'a [((usize, usize, usize), Tensor)],
+    // vf-lint: allow(hash-iteration) — lookup-only index into `out`; never iterated
+    local: &HashMap<(usize, usize, usize), usize>,
+) -> Result<&'a Tensor, CoreError> {
+    if let Some(&idx) = local.get(&(level, node, param)) {
+        return Ok(&out[idx].1);
+    }
+    if level == 0 {
+        return vn_grads[node].as_ref().map(|g| &g[param]).ok_or(CoreError::Internal {
+            invariant: "combine nodes run only after their input wave",
+        });
+    }
+    combined[level - 1][node][param]
+        .as_ref()
+        .ok_or(CoreError::Internal {
+            invariant: "combine nodes run only after their input wave",
+        })
 }
 
 /// The outcome of one training step.
@@ -125,6 +176,11 @@ pub struct Trainer {
     step: u64,
     ledger: Option<VisitLedger>,
     obs: Recorder,
+    /// Fixed gradient-bucket boundaries for pipelined reduction; a single
+    /// bucket (the default) reproduces the one-sync-per-step schedule.
+    bucket_plan: BucketPlan,
+    /// Background input staging (double buffer), when enabled.
+    prefetcher: Option<Prefetcher<StagedBatches>>,
 }
 
 impl Trainer {
@@ -176,6 +232,7 @@ impl Trainer {
             DistributionMode::Partitioned => Some(VisitLedger::new(dataset.len())),
             DistributionMode::Replicated => None,
         };
+        let sizes: Vec<u64> = params.iter().map(|p| p.size_bytes() as u64).collect();
         Ok(Trainer {
             arch,
             dataset,
@@ -188,7 +245,56 @@ impl Trainer {
             step: 0,
             ledger,
             obs: Recorder::disabled(),
+            bucket_plan: BucketPlan::single(&sizes),
+            prefetcher: None,
         })
+    }
+
+    /// Sets the gradient-bucket byte threshold for pipelined reduction;
+    /// `None` restores the single-bucket default (one sync per step).
+    ///
+    /// Boundaries are a pure function of the canonical parameter order and
+    /// this threshold — never of arrival time — and per-parameter reduction
+    /// is unchanged, so the parameter trajectory is bit-identical for every
+    /// setting. Bucketing only changes *when* partial reductions may start:
+    /// a bucket's combine work is scheduled as soon as its last
+    /// contributing backward wave completes, overlapping reduction with the
+    /// remaining waves on the shared worker pool.
+    pub fn set_bucket_bytes(&mut self, bucket_bytes: Option<u64>) {
+        let sizes: Vec<u64> = self.params.iter().map(|p| p.size_bytes() as u64).collect();
+        self.bucket_plan = match bucket_bytes {
+            Some(b) => BucketPlan::from_sizes(&sizes, b),
+            None => BucketPlan::single(&sizes),
+        };
+    }
+
+    /// The gradient-bucket plan the pipelined executor follows.
+    pub fn bucket_plan(&self) -> &BucketPlan {
+        &self.bucket_plan
+    }
+
+    /// Enables input prefetch double-buffering: a background worker stages
+    /// the next step's VN batches while the current step computes.
+    /// Gathering is a pure function of the step index, so the trajectory
+    /// is bit-identical with prefetch on or off.
+    pub fn enable_prefetch(&mut self) {
+        let plan = self.plan.clone();
+        let dataset = Arc::clone(&self.dataset);
+        let total_vns = self.config.total_vns as usize;
+        let prefetcher = Prefetcher::new(move |step| {
+            let (_, _, shards) = plan.shards_at(step as usize, total_vns)?;
+            shards
+                .iter()
+                .map(|shard| dataset.gather(shard).map_err(CoreError::from))
+                .collect()
+        });
+        prefetcher.schedule(self.step);
+        self.prefetcher = Some(prefetcher);
+    }
+
+    /// Whether input prefetch is active.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetcher.is_some()
     }
 
     /// Attaches a trace recorder. Spans and counters are emitted only from
@@ -269,23 +375,73 @@ impl Trainer {
         }
 
         let total_vns = self.config.total_vns as usize;
-        let mut vn_grads: Vec<Option<Vec<Tensor>>> = vec![None; total_vns];
         let mut vn_losses: Vec<f32> = vec![0.0; total_vns];
 
-        // One pool task per device; each processes its VNs sequentially
-        // (waves), updating its own stateful kernels in VN order. Sharing
-        // the process-wide vf-tensor pool (instead of spawning per-step
-        // threads) keeps device fan-out and kernel parallelism on one fixed
-        // set of workers; nested kernel submissions are deadlock-free
-        // because submitters help drain their own jobs.
+        // Claim this step's staged batches (if prefetch is on) and
+        // immediately queue the next step's, so the background worker
+        // refills the freed buffer while this step computes.
+        let staged: Option<Vec<(Tensor, Vec<usize>)>> = match &self.prefetcher {
+            Some(p) => p.take(self.step).transpose()?,
+            None => None,
+        };
+        if let Some(p) = &self.prefetcher {
+            p.schedule(self.step + 1);
+        }
+
+        let pipelined = self.config.reduction == ReductionOrder::Tree && total_vns > 1;
+        let mut reduced = if pipelined {
+            self.pipelined_compute_and_reduce(&shards, staged.as_deref(), &mut vn_losses)?
+        } else {
+            self.phased_compute_and_reduce(&shards, staged.as_deref(), &mut vn_losses)?
+        };
+        if let Some(max_norm) = self.config.clip_norm {
+            clip_global_norm(&mut reduced, max_norm);
+        }
+        self.optimizer.step(&mut self.params, &reduced)?;
+
+        let loss = vn_losses.iter().sum::<f32>() / total_vns as f32;
+        let report = StepReport {
+            step: self.step,
+            epoch,
+            step_in_epoch,
+            loss,
+            lr,
+            waves: self.mapping.waves(),
+        };
+        let buckets = pipelined.then(|| self.bucket_plan.num_buckets());
+        self.trace_step(&report, &vn_losses, buckets);
+        self.step += 1;
+        Ok(report)
+    }
+
+    /// The device work list: each mapped device, its VNs in wave order, and
+    /// a clone of its stateful kernels.
+    fn device_work(&self) -> Vec<(DeviceId, Vec<VirtualNodeId>, StatefulState)> {
+        self.replicas
+            .iter()
+            .map(|(&d, st)| (d, self.mapping.vns_on(d).to_vec(), st.clone()))
+            .collect()
+    }
+
+    /// The pre-bucketing executor, kept for non-tree reduction orders: one
+    /// pool task per device runs all its waves, then gradients are reduced
+    /// in one pass after every wave has joined. Sharing the process-wide
+    /// vf-tensor pool (instead of spawning per-step threads) keeps device
+    /// fan-out and kernel parallelism on one fixed set of workers; nested
+    /// kernel submissions are deadlock-free because submitters help drain
+    /// their own jobs.
+    fn phased_compute_and_reduce(
+        &mut self,
+        shards: &[Vec<usize>],
+        staged: Option<&[(Tensor, Vec<usize>)]>,
+        vn_losses: &mut [f32],
+    ) -> Result<Vec<Tensor>, CoreError> {
+        let total_vns = shards.len();
+        let mut vn_grads: Vec<Option<Vec<Tensor>>> = vec![None; total_vns];
         let arch = &self.arch;
         let dataset = &self.dataset;
         let params = &self.params;
-        let work: Vec<(DeviceId, Vec<VirtualNodeId>, StatefulState)> = self
-            .replicas
-            .iter()
-            .map(|(&d, st)| (d, self.mapping.vns_on(d).to_vec(), st.clone()))
-            .collect();
+        let work = self.device_work();
 
         type DeviceResult = Result<
             (DeviceId, StatefulState, Vec<(usize, Vec<Tensor>, f32)>),
@@ -296,10 +452,18 @@ impl Trainer {
             let mut stateful = stateful.clone();
             let mut outputs = Vec::with_capacity(vns.len());
             for vn in vns {
-                let shard = &shards[vn.0 as usize];
-                let (x, y) = dataset.gather(shard)?;
-                let report = arch.grad(params, &mut stateful, &x, &y)?;
-                outputs.push((vn.0 as usize, report.grads, report.loss));
+                let vn = vn.0 as usize;
+                let report = match staged {
+                    Some(batches) => {
+                        let (x, y) = &batches[vn];
+                        arch.grad(params, &mut stateful, x, y)?
+                    }
+                    None => {
+                        let (x, y) = dataset.gather(&shards[vn])?;
+                        arch.grad(params, &mut stateful, &x, &y)?
+                    }
+                };
+                outputs.push((vn, report.grads, report.loss));
             }
             Ok((*device, stateful, outputs))
         });
@@ -329,23 +493,204 @@ impl Trainer {
             let parts: Vec<Tensor> = vn_grads.iter().map(|g| g[p].clone()).collect();
             reduced.push(reduce::reduce_mean(&parts, self.config.reduction, None)?);
         }
-        if let Some(max_norm) = self.config.clip_norm {
-            clip_global_norm(&mut reduced, max_norm);
-        }
-        self.optimizer.step(&mut self.params, &reduced)?;
+        Ok(reduced)
+    }
 
-        let loss = vn_losses.iter().sum::<f32>() / total_vns as f32;
-        let report = StepReport {
-            step: self.step,
-            epoch,
-            step_in_epoch,
-            loss,
-            lr,
-            waves: self.mapping.waves(),
-        };
-        self.trace_step(&report, &vn_losses);
-        self.step += 1;
-        Ok(report)
+    /// The overlapped executor for tree reduction: execution is phased by
+    /// *wave*, and each phase's pool job runs that wave's backward passes
+    /// **alongside** per-bucket combine tasks for every reduction-tree node
+    /// whose inputs completed in the previous wave. A bucket's partial
+    /// reduction therefore starts as soon as its last contributing backward
+    /// wave finishes, overlapping gradient aggregation with the remaining
+    /// compute instead of serializing after the final wave.
+    ///
+    /// The combine schedule evaluates exactly the pairwise tree of
+    /// [`reduce::reduce_sum`] — same pairing, same odd-element carry, same
+    /// final `1/N` scale — and every node's value is a pure function of the
+    /// VN-ordered inputs, so the result is bit-identical to the phased
+    /// executor for any bucket plan, thread count, or device mapping.
+    fn pipelined_compute_and_reduce(
+        &mut self,
+        shards: &[Vec<usize>],
+        staged: Option<&[(Tensor, Vec<usize>)]>,
+        vn_losses: &mut [f32],
+    ) -> Result<Vec<Tensor>, CoreError> {
+        let total_vns = shards.len();
+        let num_params = self.params.len();
+        let arch = &self.arch;
+        let dataset = &self.dataset;
+        let params = &self.params;
+        let work = self.device_work();
+        let waves = work.iter().map(|(_, vns, _)| vns.len()).max().unwrap_or(0);
+        let mut states: Vec<StatefulState> = work.iter().map(|(_, _, st)| st.clone()).collect();
+
+        // Tree geometry: level widths halve (odd nodes carry up unchanged),
+        // mirroring `reduce::reduce_sum`'s pairwise tree.
+        let mut widths = vec![total_vns];
+        let mut w = total_vns;
+        while w > 1 {
+            w = w.div_ceil(2);
+            widths.push(w);
+        }
+        let levels = widths.len();
+
+        // Ready waves: a leaf is ready after the wave that computes it; an
+        // inner node is ready when its later child is.
+        let mut leaf_ready = vec![0usize; total_vns];
+        for (_, vns, _) in &work {
+            for (wave, vn) in vns.iter().enumerate() {
+                leaf_ready[vn.0 as usize] = wave;
+            }
+        }
+        let mut ready: Vec<Vec<usize>> = vec![leaf_ready];
+        for l in 1..levels {
+            let prev = &ready[l - 1];
+            let cur: Vec<usize> = (0..widths[l])
+                .map(|j| {
+                    let left = prev[2 * j];
+                    prev.get(2 * j + 1).map_or(left, |&r| left.max(r))
+                })
+                .collect();
+            ready.push(cur);
+        }
+        // Combine schedule: nodes grouped by the wave their inputs complete
+        // after, level-ascending within a group so a task resolves
+        // same-group parent/child chains locally.
+        let mut nodes_by_wave: Vec<Vec<(usize, usize)>> = vec![Vec::new(); waves];
+        for l in 1..levels {
+            for j in 0..widths[l] {
+                nodes_by_wave[ready[l][j]].push((l, j));
+            }
+        }
+
+        let mut vn_grads: Vec<Option<Vec<Tensor>>> = vec![None; total_vns];
+        // Inner-node values, indexed [level - 1][node][param].
+        let mut combined: Vec<Vec<Vec<Option<Tensor>>>> = (1..levels)
+            .map(|l| vec![vec![None; num_params]; widths[l]])
+            .collect();
+        let buckets = self.bucket_plan.buckets();
+
+        /// One schedulable unit of a phase's pool job.
+        enum Task<'a> {
+            /// Backward pass of `vn` on device `device_idx` this wave.
+            Wave { device_idx: usize, vn: usize },
+            /// Combine the listed tree nodes for one bucket's parameters.
+            Combine { bucket: usize, nodes: &'a [(usize, usize)] },
+        }
+
+        // Phase p runs wave p's device tasks next to combine tasks for
+        // nodes readied by wave p-1; the trailing phase (p == waves) drains
+        // the nodes readied by the final wave.
+        for phase in 0..=waves {
+            let mut tasks: Vec<Task> = Vec::new();
+            if phase < waves {
+                for (di, (_, vns, _)) in work.iter().enumerate() {
+                    if let Some(vn) = vns.get(phase) {
+                        tasks.push(Task::Wave { device_idx: di, vn: vn.0 as usize });
+                    }
+                }
+            }
+            if phase > 0 && !nodes_by_wave[phase - 1].is_empty() {
+                for bucket in 0..buckets.len() {
+                    tasks.push(Task::Combine { bucket, nodes: &nodes_by_wave[phase - 1] });
+                }
+            }
+            if tasks.is_empty() {
+                continue;
+            }
+            let results: Vec<Result<TaskOut, CoreError>> =
+                vf_tensor::pool::parallel_tasks(tasks.len(), |i| match &tasks[i] {
+                    Task::Wave { device_idx, vn } => {
+                        let mut stateful = states[*device_idx].clone();
+                        let report = match staged {
+                            Some(batches) => {
+                                let (x, y) = &batches[*vn];
+                                arch.grad(params, &mut stateful, x, y)?
+                            }
+                            None => {
+                                let (x, y) = dataset.gather(&shards[*vn])?;
+                                arch.grad(params, &mut stateful, &x, &y)?
+                            }
+                        };
+                        Ok(TaskOut::Device {
+                            device_idx: *device_idx,
+                            vn: *vn,
+                            grads: report.grads,
+                            loss: report.loss,
+                            stateful,
+                        })
+                    }
+                    Task::Combine { bucket, nodes } => {
+                        let bucket_params = &buckets[*bucket].params;
+                        let mut out: Vec<((usize, usize, usize), Tensor)> =
+                            Vec::with_capacity(nodes.len() * bucket_params.len());
+                        // vf-lint: allow(hash-iteration) — lookup-only; outputs are merged in task order
+                        let mut local: HashMap<(usize, usize, usize), usize> = HashMap::new();
+                        for &(l, j) in *nodes {
+                            for &p in bucket_params {
+                                let left = node_value(
+                                    l - 1,
+                                    2 * j,
+                                    p,
+                                    &vn_grads,
+                                    &combined,
+                                    &out,
+                                    &local,
+                                )?;
+                                let mut acc = left.clone();
+                                if 2 * j + 1 < widths[l - 1] {
+                                    let right = node_value(
+                                        l - 1,
+                                        2 * j + 1,
+                                        p,
+                                        &vn_grads,
+                                        &combined,
+                                        &out,
+                                        &local,
+                                    )?;
+                                    acc.add_assign(right)?;
+                                }
+                                local.insert((l, j, p), out.len());
+                                out.push(((l, j, p), acc));
+                            }
+                        }
+                        Ok(TaskOut::Combine(out))
+                    }
+                });
+            // Merge on the coordinator, in task order: deterministic, and
+            // the next phase sees every value this one produced.
+            for result in results {
+                match result? {
+                    TaskOut::Device { device_idx, vn, grads, loss, stateful } => {
+                        states[device_idx] = stateful;
+                        vn_losses[vn] = loss;
+                        vn_grads[vn] = Some(grads);
+                    }
+                    TaskOut::Combine(values) => {
+                        for ((l, j, p), tensor) in values {
+                            combined[l - 1][j][p] = Some(tensor);
+                        }
+                    }
+                }
+            }
+        }
+
+        for ((device, _, _), stateful) in work.iter().zip(states) {
+            self.replicas.insert(*device, stateful);
+        }
+
+        // The root (single node of the top level) holds the tree sum;
+        // scale to the mean, in canonical parameter order.
+        let root = &mut combined[levels - 2][0];
+        let mut reduced = Vec::with_capacity(num_params);
+        for slot in root.iter_mut().take(num_params) {
+            let mut tensor = slot.take().ok_or(CoreError::Internal {
+                invariant: "the reduction tree root is complete after the final phase",
+            })?;
+            tensor.scale_assign(1.0 / total_vns as f32);
+            reduced.push(tensor);
+        }
+        Ok(reduced)
     }
 
     /// Emits the per-step trace: one span per virtual node (in VN order, on
@@ -356,7 +701,7 @@ impl Trainer {
     /// recorder's simulated clock; each step advances it by a fixed logical
     /// width so a bare trainer (no outer SimClock driver) still produces a
     /// strictly ordered timeline.
-    fn trace_step(&self, report: &StepReport, vn_losses: &[f32]) {
+    fn trace_step(&self, report: &StepReport, vn_losses: &[f32], buckets: Option<usize>) {
         if !self.obs.is_enabled() {
             return;
         }
@@ -400,12 +745,25 @@ impl Trainer {
         }
         let agg_ts = base + total_vns as u64;
         let param_bytes: usize = self.params.iter().map(Tensor::size_bytes).sum();
+        // The aggregate span widens just enough to parent one unit-width
+        // reduce span per gradient bucket; the single-bucket default keeps
+        // the original width-4 span.
+        let agg_dur = buckets.map_or(4, |nb| 4u64.max(nb as u64 + 1));
         self.obs.emit(
-            Event::complete("aggregate", "train", agg_ts, 4)
+            Event::complete("aggregate", "train", agg_ts, agg_dur)
                 .with_arg("step", report.step)
                 .with_arg("waves", report.waves)
-                .with_arg("param_bytes", param_bytes),
+                .with_arg("param_bytes", param_bytes)
+                .with_arg("buckets", buckets.unwrap_or(1)),
         );
+        if let Some(nb) = buckets {
+            for k in 0..nb {
+                self.obs.emit(
+                    Event::complete(format!("bucket{k}/reduce"), "comm", agg_ts + k as u64, 1)
+                        .with_arg("step", report.step),
+                );
+            }
+        }
         self.obs
             .emit(Event::counter("train/loss", "train", agg_ts, f64::from(report.loss)));
         self.obs
@@ -422,7 +780,7 @@ impl Trainer {
             agg_ts,
             param_bytes,
         ));
-        self.obs.advance_us(total_vns as u64 + 8);
+        self.obs.advance_us(total_vns as u64 + 4 + agg_dur);
     }
 
     /// Runs `n` consecutive steps, returning the last report.

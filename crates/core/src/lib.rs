@@ -55,6 +55,7 @@ pub mod fault;
 pub mod hetero;
 pub mod memory_model;
 pub mod modelpar;
+pub mod overlap;
 pub mod perf_model;
 pub mod vnode;
 

@@ -32,6 +32,7 @@ mod dataset;
 mod error;
 pub mod partitioned;
 pub mod pipeline;
+pub mod prefetch;
 pub mod synthetic;
 
 pub use batching::{DistributionMode, GlobalBatch};

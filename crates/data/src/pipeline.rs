@@ -70,6 +70,12 @@ impl InputPipelineModel {
     pub fn keeps_up_with(&self, consumer_rate: f64) -> bool {
         self.max_throughput() >= consumer_rate
     }
+
+    /// Host staging memory for double-buffered prefetch of `examples`
+    /// examples: two raw buffers — one being consumed, one being filled.
+    pub fn double_buffer_bytes(&self, examples: usize) -> u64 {
+        2 * self.raw_bytes_per_example * examples as u64
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,265 @@
+//! Input prefetch double-buffering.
+//!
+//! Figure 3 of the paper overlaps the host input pipeline with device
+//! compute: while the accelerator works on batch `k`, the CPU prepares
+//! batch `k + 1` into a staging buffer. [`Prefetcher`] reproduces that
+//! shape for the real executor: a single background worker produces one
+//! *ticket* (step index) ahead of the consumer, holding at most one
+//! finished value — the classic double buffer (one buffer being consumed,
+//! one being filled).
+//!
+//! Determinism: the producer is a pure function of the ticket, tickets are
+//! produced in the order they were scheduled, and the consumer blocks
+//! until *its* ticket is ready — so the values handed out are identical to
+//! calling the producer synchronously, batch for batch. The worker never
+//! performs floating-point reductions and never emits trace events; it
+//! only moves data, which is why threading it outside the kernel pool does
+//! not threaten bit-exactness.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+struct State<T> {
+    /// Tickets scheduled but not yet picked up by the worker, FIFO.
+    queue: VecDeque<u64>,
+    /// The ticket the worker is currently producing, if any.
+    in_flight: Option<u64>,
+    /// The finished buffer: at most one value waits here (double buffer).
+    ready: Option<(u64, T)>,
+    shutdown: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+/// A background producer that keeps exactly one value ahead of its
+/// consumer.
+///
+/// # Examples
+///
+/// ```
+/// use vf_data::prefetch::Prefetcher;
+///
+/// let p = Prefetcher::new(|ticket: u64| ticket * 2);
+/// p.schedule(0);
+/// assert_eq!(p.take(0), Some(0));
+/// p.schedule(1);
+/// assert_eq!(p.take(1), Some(2));
+/// assert_eq!(p.take(99), None); // never scheduled: caller falls back
+/// ```
+pub struct Prefetcher<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> Prefetcher<T> {
+    /// Spawns the prefetch worker around a producer function. The producer
+    /// must be a pure function of the ticket for the determinism argument
+    /// in the module docs to hold.
+    pub fn new(producer: impl Fn(u64) -> T + Send + 'static) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                in_flight: None,
+                ready: None,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        // vf-lint: allow(ad-hoc-thread) — data-only staging worker: produces order-pinned batches from a pure function, performs no FP reduction or tracing, and is joined on drop; the kernel pool would deadlock feeding itself here
+        let worker = std::thread::spawn(move || {
+            loop {
+                let ticket = {
+                    let mut st = worker_shared
+                        .state
+                        .lock()
+                        // vf-lint: allow(panic-ratchet) — a poisoned lock means the consumer already panicked; propagate
+                        .expect("prefetch state lock");
+                    // Double buffer: do not start the next ticket while a
+                    // finished value is still waiting to be consumed.
+                    while !st.shutdown && (st.ready.is_some() || st.queue.is_empty()) {
+                        st = worker_shared
+                            .cv
+                            .wait(st)
+                            // vf-lint: allow(panic-ratchet) — a poisoned lock means the consumer already panicked; propagate
+                            .expect("prefetch state lock");
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    // vf-lint: allow(panic-ratchet) — the wait loop exits only when the queue is non-empty
+                    let ticket = st.queue.pop_front().expect("non-empty queue");
+                    st.in_flight = Some(ticket);
+                    ticket
+                };
+                // Produce outside the lock so the consumer can inspect
+                // state (and schedule more work) while this runs.
+                let value = producer(ticket);
+                let mut st = worker_shared
+                    .state
+                    .lock()
+                    // vf-lint: allow(panic-ratchet) — a poisoned lock means the consumer already panicked; propagate
+                    .expect("prefetch state lock");
+                st.in_flight = None;
+                st.ready = Some((ticket, value));
+                worker_shared.cv.notify_all();
+            }
+        });
+        Prefetcher {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Queues `ticket` for background production. Tickets are produced in
+    /// scheduling order, one at a time, at most one finished value ahead.
+    pub fn schedule(&self, ticket: u64) {
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            // vf-lint: allow(panic-ratchet) — a poisoned lock means the worker already panicked; propagate
+            .expect("prefetch state lock");
+        if st.shutdown {
+            return;
+        }
+        st.queue.push_back(ticket);
+        self.shared.cv.notify_all();
+    }
+
+    /// Claims the finished value for `ticket`, blocking while it is still
+    /// in production. Returns `None` if the ticket was never scheduled (or
+    /// was displaced by a stale buffer) — the caller then produces the
+    /// value synchronously, preserving batch-for-batch equivalence.
+    pub fn take(&self, ticket: u64) -> Option<T> {
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            // vf-lint: allow(panic-ratchet) — a poisoned lock means the worker already panicked; propagate
+            .expect("prefetch state lock");
+        loop {
+            if let Some((t, _)) = &st.ready {
+                if *t == ticket {
+                    // vf-lint: allow(panic-ratchet) — guarded by the `ready` check above
+                    let (_, value) = st.ready.take().expect("checked ready");
+                    // Free buffer: wake the worker for the next ticket.
+                    self.shared.cv.notify_all();
+                    return Some(value);
+                }
+                // A stale buffer (e.g. scheduled before a checkpoint
+                // restore rewound the step counter): discard it so the
+                // worker can move on to the ticket we actually want.
+                st.ready = None;
+                self.shared.cv.notify_all();
+            }
+            let pending =
+                st.in_flight == Some(ticket) || st.queue.contains(&ticket);
+            if !pending {
+                return None;
+            }
+            st = self
+                .shared
+                .cv
+                .wait(st)
+                // vf-lint: allow(panic-ratchet) — a poisoned lock means the worker already panicked; propagate
+                .expect("prefetch state lock");
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for Prefetcher<T> {
+    fn drop(&mut self) {
+        {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                // vf-lint: allow(panic-ratchet) — a poisoned lock means the worker already panicked; nothing left to join cleanly
+                .expect("prefetch state lock");
+            st.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(handle) = self.worker.take() {
+            // Joining bounds the worker's lifetime to the prefetcher's: no
+            // thread outlives the trainer that spawned it.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for Prefetcher<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prefetcher").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn hands_out_values_in_ticket_order() {
+        let p = Prefetcher::new(|t: u64| t * 10);
+        for t in 0..20 {
+            p.schedule(t);
+            assert_eq!(p.take(t), Some(t * 10));
+        }
+    }
+
+    #[test]
+    fn pipelined_schedule_matches_synchronous_production() {
+        // The trainer pattern: take step k, immediately schedule k+1.
+        let produce = |t: u64| (0..8).map(|i| t * 100 + i).collect::<Vec<u64>>();
+        let p = Prefetcher::new(produce);
+        p.schedule(0);
+        for t in 0..32 {
+            let got = p.take(t).unwrap();
+            p.schedule(t + 1);
+            assert_eq!(got, produce(t), "ticket {t}");
+        }
+    }
+
+    #[test]
+    fn unscheduled_ticket_returns_none_for_synchronous_fallback() {
+        let p = Prefetcher::new(|t: u64| t);
+        assert_eq!(p.take(7), None);
+        // A stale ready buffer is discarded, not handed to the wrong step.
+        p.schedule(3);
+        assert_eq!(p.take(4), None);
+        p.schedule(4);
+        assert_eq!(p.take(4), Some(4));
+    }
+
+    #[test]
+    fn holds_at_most_one_finished_value() {
+        // With two tickets queued, the worker must not produce the second
+        // until the first is consumed — the double-buffer bound.
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let p = Prefetcher::new(move |t: u64| {
+            c.fetch_add(1, Ordering::SeqCst);
+            t
+        });
+        p.schedule(0);
+        p.schedule(1);
+        assert_eq!(p.take(0), Some(0));
+        // Consuming 0 frees the buffer; 1 is produced on demand.
+        assert_eq!(p.take(1), Some(1));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn drop_joins_the_worker_with_work_still_queued() {
+        let p = Prefetcher::new(|t: u64| vec![t; 1024]);
+        for t in 0..100 {
+            p.schedule(t);
+        }
+        drop(p); // must not hang or leak the thread
+    }
+}

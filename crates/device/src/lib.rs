@@ -36,7 +36,7 @@ pub mod obs;
 mod profile;
 
 pub use backoff::{Backoff, BackoffPolicy};
-pub use clock::SimClock;
+pub use clock::{SimClock, TwoLaneClock};
 pub use failure::{FailureEvent, FailureModel, FailureModelError};
 pub use fault_plan::{FaultKind, FaultPlan, PlannedFault, RackModel, SpotModel};
 pub use memory::{MemoryCategory, MemorySnapshot, MemoryTracker, OomError};

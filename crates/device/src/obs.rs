@@ -34,6 +34,19 @@ pub fn sim_us(time_s: f64) -> u64 {
     }
 }
 
+/// Emits the backward tail of one step — the window bucketed collectives
+/// may overlap — as a `step/backward` complete span on the control track.
+/// The span is what trace-structure checks match comm spans against: a
+/// collective whose span starts inside this window is provably pipelined
+/// with backward compute rather than serialized after it.
+pub fn emit_backward_window(obs: &Recorder, step: u64, start_s: f64, dur_s: f64) {
+    obs.record_with(|| {
+        let start = sim_us(start_s);
+        let dur = sim_us(start_s + dur_s).saturating_sub(start).max(1);
+        Event::complete("step/backward", "train", start, dur).with_arg("step", step)
+    });
+}
+
 impl MemoryCategory {
     /// A short machine-friendly name for metric/counter series.
     pub fn slug(self) -> &'static str {
@@ -257,7 +270,23 @@ mod tests {
         emit_memory_timeline(&obs, 0, &[]);
         MemoryTracker::new(10).emit_peaks(&obs, 0, 0.0);
         BusyTracker::new(0).emit(&obs);
+        emit_backward_window(&obs, 0, 1.0, 0.5);
         assert_eq!(obs.events_recorded(), 0);
+    }
+
+    #[test]
+    fn backward_window_span_covers_the_tail() {
+        let ring = Arc::new(RingSink::unbounded());
+        let obs = Recorder::with_sink(ring.clone());
+        emit_backward_window(&obs, 7, 1.5, 0.5);
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "step/backward");
+        assert_eq!(events[0].cat, "train");
+        assert_eq!((events[0].ts_us, events[0].dur_us), (1_500_000, 500_000));
+        // Sub-microsecond windows still render as a visible span.
+        emit_backward_window(&obs, 8, 2.0, 1e-9);
+        assert_eq!(ring.events()[1].dur_us, 1);
     }
 
     #[test]

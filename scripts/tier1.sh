@@ -22,6 +22,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier 1: chaos smoke (fixed seed, bit-exact under faults) =="
 cargo run --release -q -p vf-bench --bin chaos_bench -- --smoke
 
+echo "== tier 1: overlap smoke (bucketed pipelined sync strictly faster, bit-exact) =="
+cargo run --release -q -p vf-bench --bin overlap_bench -- --smoke
+
 echo "== tier 1: trace smoke (export byte-identical across pool sizes) =="
 cargo run --release -q -p vf-bench --bin trace_report -- --smoke
 
