@@ -40,6 +40,8 @@ const EXPERIMENTS: &[&str] = &[
     "overlap_bench",
     "trace_report",
     "trace_profile",
+    "store_bench",
+    "recovery_drill",
     // Last: diff the fresh history records against the committed baseline.
     "bench_gate",
 ];

@@ -51,7 +51,8 @@ use vf_device::{
     Backoff, BackoffPolicy, DeviceId, FaultKind, FaultPlan, PlannedFault, SimClock, TwoLaneClock,
 };
 use vf_models::trainable::Architecture;
-use vf_obs::{Event, Recorder};
+use vf_obs::{Event, Metrics, Recorder};
+use vf_store::{CheckpointStore, StoreConfig};
 
 /// Stream tag for recovery-attempt draws inside the fault plan's seed
 /// space (distinct from any device id stream).
@@ -104,6 +105,15 @@ pub struct ChaosConfig {
     /// set; clamped to `[0, 1]`.
     #[serde(default)]
     pub backward_fraction: f64,
+    /// Durable checkpoint store configuration. `None` (the default) keeps
+    /// the legacy in-memory-only last resort; `Some` routes every periodic
+    /// checkpoint through a `vf_store::CheckpointStore` — saves pay
+    /// simulated storage time, restores prefer the newest *valid* durable
+    /// checkpoint (falling back past corrupt ones), and the in-memory copy
+    /// survives only as the path of last resort when no durable checkpoint
+    /// is readable.
+    #[serde(default)]
+    pub store: Option<StoreConfig>,
 }
 
 impl ChaosConfig {
@@ -127,7 +137,15 @@ impl ChaosConfig {
             events_horizon_s: steps as f64 * 30.0 + 3_600.0,
             bucket_bytes: None,
             backward_fraction: 0.5,
+            store: None,
         }
+    }
+
+    /// Routes checkpoints through a durable store (see
+    /// [`ChaosConfig::store`]).
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.store = Some(store);
+        self
     }
 }
 
@@ -177,6 +195,43 @@ pub struct ChaosReport {
     /// only the part sticking out past each step's backward window.
     #[serde(default)]
     pub comm_exposed_s: f64,
+    /// Checkpoints durably committed to the store (0 without a store).
+    #[serde(default)]
+    pub store_saves: u64,
+    /// Durable checkpoint saves that failed (torn, crashed, disk-full) and
+    /// left only debris the next scan sweeps.
+    #[serde(default)]
+    pub store_save_failures: u64,
+    /// Successful restores served from the durable store.
+    #[serde(default)]
+    pub store_restores: u64,
+    /// Checkpoint directories attempted across all durable restores.
+    #[serde(default)]
+    pub store_restore_attempts: u64,
+    /// Durable restores that fell back past the newest checkpoint to an
+    /// older valid one.
+    #[serde(default)]
+    pub store_fallback_restores: u64,
+    /// Corrupt checkpoints detected (and quarantined) by checksum
+    /// verification.
+    #[serde(default)]
+    pub store_corruptions_detected: u64,
+    /// Checkpoint directories moved to quarantine.
+    #[serde(default)]
+    pub store_quarantined: u64,
+    /// Restores that returned data the fault oracle knows was corrupted —
+    /// must always be zero; anything else is a checksum-layer escape.
+    #[serde(default)]
+    pub store_silent_restores: u64,
+    /// Times the durable store could not produce any valid checkpoint and
+    /// the supervisor degraded to its in-memory copy.
+    #[serde(default)]
+    pub store_restore_failures: u64,
+    /// Total simulated time spent inside checkpoint-restore recoveries
+    /// (fleet wait + restore + durable reads), in seconds. Divide by
+    /// `checkpoint_fallbacks` for MTTR.
+    #[serde(default)]
+    pub mttr_total_s: f64,
 }
 
 impl ChaosReport {
@@ -204,6 +259,44 @@ impl ChaosReport {
             (baseline / actual).max(0.0)
         }
     }
+
+    /// Mean time to recover for the checkpoint-restore last resort, in
+    /// simulated seconds (0 when it never fired).
+    pub fn mttr_s(&self) -> f64 {
+        if self.checkpoint_fallbacks == 0 {
+            0.0
+        } else {
+            self.mttr_total_s / self.checkpoint_fallbacks as f64
+        }
+    }
+
+    /// Publishes the report into a [`Metrics`] registry under `chaos/*`
+    /// names. Counters and gauges are pure functions of the report, so two
+    /// identical runs — regardless of thread count — produce identical
+    /// registries.
+    pub fn record_metrics(&self, m: &Metrics) {
+        m.inc("chaos/steps", self.steps);
+        m.inc("chaos/crashes", self.crashes as u64);
+        m.inc("chaos/rack_device_failures", self.rack_device_failures as u64);
+        m.inc("chaos/preemptions", self.preemptions as u64);
+        m.inc("chaos/recoveries", self.recoveries as u64);
+        m.inc("chaos/rejoins", self.rejoins as u64);
+        m.inc("chaos/recovery_retries", self.recovery_retries as u64);
+        m.inc("chaos/checkpoint_fallbacks", self.checkpoint_fallbacks as u64);
+        m.inc("chaos/replayed_steps", self.replayed_steps);
+        m.inc("chaos/store_saves", self.store_saves);
+        m.inc("chaos/store_save_failures", self.store_save_failures);
+        m.inc("chaos/store_restores", self.store_restores);
+        m.inc("chaos/store_restore_attempts", self.store_restore_attempts);
+        m.inc("chaos/store_fallback_restores", self.store_fallback_restores);
+        m.inc("chaos/store_corruptions_detected", self.store_corruptions_detected);
+        m.inc("chaos/store_quarantined", self.store_quarantined);
+        m.inc("chaos/store_silent_restores", self.store_silent_restores);
+        m.inc("chaos/store_restore_failures", self.store_restore_failures);
+        m.set_gauge("chaos/sim_time_s", self.sim_time_s);
+        m.set_gauge("chaos/backoff_total_s", self.backoff_total_s);
+        m.set_gauge("chaos/mttr_s", self.mttr_s());
+    }
 }
 
 /// The result of a completed chaos run.
@@ -230,6 +323,10 @@ pub struct ChaosSupervisor {
     events: VecDeque<PlannedFault>,
     desired_fleet: usize,
     last_checkpoint: Checkpoint,
+    /// Durable checkpoint store, when the config asks for one. The
+    /// in-memory `last_checkpoint` then only serves as the path of last
+    /// resort after every durable restore attempt fails.
+    store: Option<CheckpointStore>,
     param_bytes: u64,
     recovery_draws: u64,
     report: ChaosReport,
@@ -262,6 +359,17 @@ impl ChaosSupervisor {
         let events: VecDeque<PlannedFault> =
             cfg.plan.events(&universe, cfg.events_horizon_s).into();
         let last_checkpoint = trainer.to_checkpoint();
+        let mut store = match &cfg.store {
+            Some(sc) => Some(CheckpointStore::new(sc.clone())?),
+            None => None,
+        };
+        if let Some(s) = store.as_mut() {
+            // Seed the store with the step-0 snapshot so it is never empty
+            // while enabled. A storage fault here is survivable — the next
+            // periodic checkpoint retries, and the in-memory copy remains.
+            let payload = last_checkpoint.to_json()?;
+            let _ = s.save(last_checkpoint.step, payload.as_bytes());
+        }
         let param_bytes: u64 = trainer.params().iter().map(|t| t.size_bytes() as u64).sum();
         let group = ElasticGroup::new(devices.iter().map(|d| WorkerId(d.0)));
         let report = ChaosReport {
@@ -279,6 +387,7 @@ impl ChaosSupervisor {
             cooling: BTreeMap::new(),
             events,
             last_checkpoint,
+            store,
             param_bytes,
             recovery_draws: 0,
             report,
@@ -294,6 +403,9 @@ impl ChaosSupervisor {
     /// bit-identical across thread counts and repeat runs.
     pub fn set_recorder(&mut self, obs: Recorder) {
         self.trainer.set_recorder(obs.clone());
+        if let Some(s) = self.store.as_mut() {
+            s.set_recorder(obs.clone());
+        }
         self.obs = obs;
     }
 
@@ -317,11 +429,22 @@ impl ChaosSupervisor {
             self.fire_due_events()?;
             self.provision_replacements();
             self.execute_step()?;
-            self.maybe_checkpoint();
+            self.maybe_checkpoint()?;
         }
         self.report.steps = self.trainer.steps_done();
         self.report.sim_time_s = self.clock.now();
         self.report.final_fleet = self.trainer.mapping().num_devices();
+        if let Some(s) = self.store.as_ref() {
+            let c = s.counters();
+            self.report.store_saves = c.saves;
+            self.report.store_save_failures = c.save_failures;
+            self.report.store_restores = c.restores;
+            self.report.store_restore_attempts = c.restore_attempts;
+            self.report.store_fallback_restores = c.fallback_restores;
+            self.report.store_corruptions_detected = c.corruptions_detected;
+            self.report.store_quarantined = c.quarantined;
+            self.report.store_silent_restores = c.silent_restores;
+        }
         Ok(ChaosOutcome {
             trainer: self.trainer,
             report: self.report,
@@ -557,8 +680,14 @@ impl ChaosSupervisor {
 
     /// The last-resort path the paper's design exists to avoid: restore
     /// the newest checkpoint onto fresh devices and replay the lost steps.
+    ///
+    /// With a durable store configured, the restore prefers the newest
+    /// *valid* durable checkpoint — walking back past corrupt or torn ones
+    /// — and only degrades to the in-memory copy when nothing on storage
+    /// is readable.
     fn checkpoint_restore(&mut self) -> Result<(), CoreError> {
         self.report.checkpoint_fallbacks += 1;
+        let mttr_t0 = self.clock.now();
         // Wait (in simulated time) for at least one repaired device if the
         // spare pool is empty.
         if self.spares.is_empty() {
@@ -584,17 +713,16 @@ impl ChaosSupervisor {
             fleet.push(d);
         }
         fleet.sort_unstable();
-        let lost = self
-            .trainer
-            .steps_done()
-            .saturating_sub(self.last_checkpoint.step);
+        let restored = self.restore_source()?;
+        let lost = self.trainer.steps_done().saturating_sub(restored.step);
         self.report.replayed_steps += lost;
         self.trainer = Trainer::from_checkpoint(
             self.arch.clone(),
             self.dataset.clone(),
-            self.last_checkpoint.clone(),
+            restored.clone(),
             &fleet,
         )?;
+        self.last_checkpoint = restored;
         // The rebuilt trainer starts with a disabled recorder; re-attach
         // ours so the replayed steps keep tracing, and restore the bucket
         // plan the checkpoint does not carry.
@@ -602,6 +730,7 @@ impl ChaosSupervisor {
         self.trainer.set_bucket_bytes(self.cfg.bucket_bytes);
         self.group = ElasticGroup::new(fleet.iter().map(|d| WorkerId(d.0)));
         self.clock.advance(self.cfg.restore_s);
+        self.report.mttr_total_s += self.clock.now() - mttr_t0;
         self.obs.record_with(|| {
             Event::instant("checkpoint/restore", "chaos", self.obs.now_us())
                 .with_arg("from_step", self.last_checkpoint.step)
@@ -609,6 +738,33 @@ impl ChaosSupervisor {
                 .with_arg("fleet", fleet.len())
         });
         Ok(())
+    }
+
+    /// Picks the checkpoint to restore from: the newest valid durable one
+    /// when a store is configured (charging its simulated scan and read
+    /// time to the clock), else the in-memory copy. Durable failures —
+    /// every checkpoint corrupt, or an unreadable payload — degrade to the
+    /// in-memory copy and are counted, never silently absorbed.
+    fn restore_source(&mut self) -> Result<Checkpoint, CoreError> {
+        let Some(store) = self.store.as_mut() else {
+            return Ok(self.last_checkpoint.clone());
+        };
+        let outcome = store.restore_latest();
+        self.clock.advance(store.drain_time_s());
+        if let Ok((_, bytes)) = outcome {
+            let parsed = std::str::from_utf8(&bytes)
+                .map_err(|e| CoreError::CheckpointFormat { reason: e.to_string() })
+                .and_then(Checkpoint::from_json);
+            // The store's checksums verified these bytes, so they are
+            // exactly what a successful save wrote; a parse failure here
+            // means the payload itself was bad and the memory copy is the
+            // better source.
+            if let Ok(ckpt) = parsed {
+                return Ok(ckpt);
+            }
+        }
+        self.report.store_restore_failures += 1;
+        Ok(self.last_checkpoint.clone())
     }
 
     /// Tops the fleet back up toward its original size through async
@@ -754,8 +910,13 @@ impl ChaosSupervisor {
         Ok(lanes.join() - t0)
     }
 
-    /// Periodic checkpoint for the last-resort path.
-    fn maybe_checkpoint(&mut self) {
+    /// Periodic checkpoint for the last-resort path. With a store
+    /// configured, the snapshot is also committed durably: a *validation*
+    /// failure (non-finite state, schema drift) is a bug and aborts the
+    /// run, while a *storage* fault is survivable — the failed save's
+    /// debris is swept at the next scan and the in-memory copy still
+    /// advances.
+    fn maybe_checkpoint(&mut self) -> Result<(), CoreError> {
         if self.cfg.checkpoint_every > 0
             && self
                 .trainer
@@ -763,11 +924,17 @@ impl ChaosSupervisor {
                 .is_multiple_of(self.cfg.checkpoint_every)
         {
             self.last_checkpoint = self.trainer.to_checkpoint();
+            if let Some(store) = self.store.as_mut() {
+                let payload = self.last_checkpoint.to_json()?;
+                let _ = store.save(self.last_checkpoint.step, payload.as_bytes());
+                self.clock.advance(store.drain_time_s());
+            }
             self.obs.record_with(|| {
                 Event::instant("checkpoint/save", "chaos", self.obs.now_us())
                     .with_arg("step", self.last_checkpoint.step)
             });
         }
+        Ok(())
     }
 }
 
@@ -920,6 +1087,104 @@ mod tests {
         // Replay is deterministic, so even the last resort lands on the
         // fault-free parameters.
         assert_eq!(out.trainer.params(), &fault_free_params(5, 60)[..]);
+    }
+
+    /// Rack-wipe scenario with checkpoints routed through the durable
+    /// store: the restore is served from storage, pays simulated storage
+    /// time, and still lands on the fault-free trajectory.
+    #[test]
+    fn store_backed_rack_wipe_restores_durably_and_stays_bit_exact() {
+        let (arch, dataset, config) = parts(5);
+        let plan = FaultPlan::new(5).with_racks(RackModel::new(4, 90.0).unwrap());
+        let mut cfg = ChaosConfig::new(plan, 60);
+        cfg.checkpoint_every = 10;
+        cfg.store = Some(StoreConfig::quiet(5));
+        let sup = ChaosSupervisor::new(
+            arch,
+            dataset,
+            config,
+            &devices(0..4),
+            &devices(100..104),
+            cfg,
+        )
+        .unwrap();
+        let out = sup.run().unwrap();
+        assert!(out.report.checkpoint_fallbacks > 0, "{:?}", out.report);
+        assert!(out.report.store_saves > 0);
+        assert!(out.report.store_restores > 0, "{:?}", out.report);
+        assert_eq!(out.report.store_restore_failures, 0);
+        assert_eq!(out.report.store_silent_restores, 0);
+        assert!(out.report.mttr_s() > 0.0);
+        assert_eq!(out.report.steps, 60);
+        assert_eq!(out.trainer.params(), &fault_free_params(5, 60)[..]);
+    }
+
+    /// Every durable save after the step-0 seed is sabotaged post-commit:
+    /// the restore must detect the corruption, quarantine its way back to
+    /// the step-0 checkpoint, replay everything — and still end bit-exact.
+    #[test]
+    fn corrupt_newest_checkpoints_fall_back_to_an_older_valid_one() {
+        let (arch, dataset, config) = parts(5);
+        let plan = FaultPlan::new(5).with_racks(RackModel::new(4, 90.0).unwrap());
+        let mut cfg = ChaosConfig::new(plan, 60);
+        cfg.checkpoint_every = 10;
+        let mut sc = StoreConfig::quiet(5);
+        sc.retention.keep_last = 64; // keep the step-0 seed restorable
+        sc.sabotage_saves = (1..64).collect();
+        cfg.store = Some(sc);
+        let sup = ChaosSupervisor::new(
+            arch,
+            dataset,
+            config,
+            &devices(0..4),
+            &devices(100..104),
+            cfg,
+        )
+        .unwrap();
+        let out = sup.run().unwrap();
+        assert!(out.report.checkpoint_fallbacks > 0, "{:?}", out.report);
+        assert!(out.report.store_fallback_restores > 0, "{:?}", out.report);
+        assert!(out.report.store_corruptions_detected > 0);
+        assert!(out.report.store_quarantined > 0);
+        assert_eq!(out.report.store_silent_restores, 0);
+        // Fell back to step 0, so the replay covers the whole prefix.
+        assert!(out.report.replayed_steps > 0);
+        assert_eq!(out.report.steps, 60);
+        assert_eq!(out.trainer.params(), &fault_free_params(5, 60)[..]);
+    }
+
+    /// The published metrics registry is a pure function of the run, so
+    /// thread count must not leak into it.
+    #[test]
+    fn chaos_metrics_are_identical_across_thread_counts() {
+        fn metrics_json(threads: usize) -> String {
+            vf_tensor::pool::set_num_threads(threads);
+            let (arch, dataset, config) = parts(5);
+            let plan = FaultPlan::new(5).with_racks(RackModel::new(4, 90.0).unwrap());
+            let mut cfg = ChaosConfig::new(plan, 40);
+            cfg.checkpoint_every = 10;
+            cfg.store = Some(StoreConfig::quiet(5));
+            let sup = ChaosSupervisor::new(
+                arch,
+                dataset,
+                config,
+                &devices(0..4),
+                &devices(100..104),
+                cfg,
+            )
+            .unwrap();
+            let out = sup.run().unwrap();
+            let m = Metrics::new();
+            out.report.record_metrics(&m);
+            m.to_json()
+        }
+        let orig = vf_tensor::pool::num_threads();
+        let single = metrics_json(1);
+        let quad = metrics_json(4);
+        vf_tensor::pool::set_num_threads(orig);
+        assert_eq!(single, quad);
+        assert!(single.contains("chaos/store_saves"));
+        assert!(single.contains("chaos/mttr_s"));
     }
 
     #[test]

@@ -8,15 +8,40 @@
 //! parameters, optimizer state, step counter, and per-device stateful
 //! kernels — and restoring onto *any* device set continues the run
 //! bit-for-bit, because the virtual node count travels with the config.
+//!
+//! Two failure modes are rejected *loudly* at the serialization boundary:
+//!
+//! * **non-finite state** — JSON has no NaN/Inf literal, so `serde_json`
+//!   writes `null` and the poison surfaces only as a confusing parse error
+//!   at restore time (or worse, not at all). [`Checkpoint::to_json`]
+//!   validates finiteness up front and returns
+//!   [`CoreError::NonFiniteCheckpoint`] naming the offending tensor;
+//! * **format drift** — every checkpoint carries a
+//!   [`schema_version`](Checkpoint::schema_version); readers reject
+//!   versions they do not understand with [`CoreError::CheckpointSchema`]
+//!   instead of misparsing. A pre-versioning document deserializes to
+//!   version 0 (via `serde(default)`) and is rejected the same way.
+//!
+//! Durability — shards, checksums, storage faults, quarantine — is
+//! `vf-store`'s job; this module only defines the payload the store
+//! carries (see DESIGN.md §15).
 
 use crate::config::TrainerConfig;
+use crate::error::CoreError;
 use serde::{Deserialize, Serialize};
 use vf_tensor::optim::OptimizerState;
 use vf_tensor::Tensor;
 
+/// The checkpoint format version this build writes and accepts.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
 /// A complete snapshot of a training job, independent of any device layout.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
+    /// Format version; see [`CHECKPOINT_SCHEMA_VERSION`]. Documents written
+    /// before versioning existed decode as 0 and are rejected on load.
+    #[serde(default)]
+    pub schema_version: u32,
     /// The job's hyperparameters (including the virtual node count).
     pub config: TrainerConfig,
     /// Steps completed at snapshot time.
@@ -31,24 +56,68 @@ pub struct Checkpoint {
     pub stateful: Vec<Vec<Tensor>>,
 }
 
+fn first_non_finite(tensors: &[Tensor]) -> Option<usize> {
+    tensors
+        .iter()
+        .position(|t| t.data().iter().any(|v| !v.is_finite()))
+}
+
 impl Checkpoint {
-    /// Serializes the checkpoint to JSON.
+    /// Validates the snapshot: supported schema version and fully finite
+    /// state. Called by both [`Checkpoint::to_json`] and
+    /// [`Checkpoint::from_json`], so a poisoned or mis-versioned
+    /// checkpoint can neither be written nor loaded.
     ///
     /// # Errors
     ///
-    /// Returns a [`serde_json::Error`] if serialization fails (it cannot for
-    /// these types under normal conditions).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(self)
+    /// [`CoreError::CheckpointSchema`] on a version mismatch,
+    /// [`CoreError::NonFiniteCheckpoint`] naming the first poisoned tensor.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.schema_version != CHECKPOINT_SCHEMA_VERSION {
+            return Err(CoreError::CheckpointSchema {
+                found: self.schema_version,
+                supported: CHECKPOINT_SCHEMA_VERSION,
+            });
+        }
+        if let Some(i) = first_non_finite(&self.params) {
+            return Err(CoreError::NonFiniteCheckpoint { what: "params", index: i });
+        }
+        if let Some(i) = first_non_finite(&self.optimizer.tensors) {
+            return Err(CoreError::NonFiniteCheckpoint { what: "optimizer", index: i });
+        }
+        for (d, kernels) in self.stateful.iter().enumerate() {
+            if first_non_finite(kernels).is_some() {
+                return Err(CoreError::NonFiniteCheckpoint { what: "stateful", index: d });
+            }
+        }
+        Ok(())
     }
 
-    /// Deserializes a checkpoint from JSON.
+    /// Serializes the checkpoint to JSON, validating first.
     ///
     /// # Errors
     ///
-    /// Returns a [`serde_json::Error`] on malformed input.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// [`CoreError::NonFiniteCheckpoint`] / [`CoreError::CheckpointSchema`]
+    /// from validation, [`CoreError::CheckpointFormat`] if serialization
+    /// itself fails (it cannot for these types under normal conditions).
+    pub fn to_json(&self) -> Result<String, CoreError> {
+        self.validate()?;
+        serde_json::to_string(self)
+            .map_err(|e| CoreError::CheckpointFormat { reason: e.to_string() })
+    }
+
+    /// Deserializes a checkpoint from JSON and validates it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CheckpointFormat`] on malformed input,
+    /// [`CoreError::CheckpointSchema`] on an unknown version,
+    /// [`CoreError::NonFiniteCheckpoint`] on poisoned state.
+    pub fn from_json(json: &str) -> Result<Self, CoreError> {
+        let ckpt: Checkpoint = serde_json::from_str(json)
+            .map_err(|e| CoreError::CheckpointFormat { reason: e.to_string() })?;
+        ckpt.validate()?;
+        Ok(ckpt)
     }
 
     /// Total payload size in bytes (parameters + optimizer + kernels).
@@ -72,6 +141,7 @@ mod tests {
 
     fn sample() -> Checkpoint {
         Checkpoint {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
             config: TrainerConfig::simple(4, 32, 0.1, 7),
             step: 12,
             params: vec![Tensor::ones([2, 3])],
@@ -99,6 +169,91 @@ mod tests {
 
     #[test]
     fn malformed_json_is_rejected() {
-        assert!(Checkpoint::from_json("{not json").is_err());
+        assert!(matches!(
+            Checkpoint::from_json("{not json"),
+            Err(CoreError::CheckpointFormat { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_params_are_rejected_at_save() {
+        // Regression: serde_json writes NaN/Inf as `null`, so without this
+        // check a poisoned parameter only surfaced as a parse error at
+        // restore time — or silently, if nothing ever restored it.
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut c = sample();
+            c.params[0].data_mut()[3] = poison;
+            match c.to_json() {
+                Err(CoreError::NonFiniteCheckpoint { what: "params", index: 0 }) => {}
+                other => panic!("expected NonFiniteCheckpoint for {poison}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_optimizer_and_stateful_are_rejected() {
+        let mut c = sample();
+        c.optimizer.tensors[0].data_mut()[0] = f32::NAN;
+        assert!(matches!(
+            c.to_json(),
+            Err(CoreError::NonFiniteCheckpoint { what: "optimizer", index: 0 })
+        ));
+        let mut c = sample();
+        c.stateful[0][0].data_mut()[1] = f32::INFINITY;
+        assert!(matches!(
+            c.to_json(),
+            Err(CoreError::NonFiniteCheckpoint { what: "stateful", index: 0 })
+        ));
+    }
+
+    #[test]
+    fn the_null_payload_cannot_reach_a_restore() {
+        // Even if a poisoned checkpoint were serialized behind validate()'s
+        // back, the resulting `null` fails loudly on load.
+        let mut c = sample();
+        c.params[0].data_mut()[0] = f32::NAN;
+        let json = serde_json::to_string(&c).unwrap(); // bypasses to_json()
+        assert!(json.contains("null"), "shim writes non-finite floats as null");
+        assert!(matches!(
+            Checkpoint::from_json(&json),
+            Err(CoreError::CheckpointFormat { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let mut c = sample();
+        c.schema_version = CHECKPOINT_SCHEMA_VERSION + 7;
+        match c.to_json() {
+            Err(CoreError::CheckpointSchema { found, supported }) => {
+                assert_eq!(found, CHECKPOINT_SCHEMA_VERSION + 7);
+                assert_eq!(supported, CHECKPOINT_SCHEMA_VERSION);
+            }
+            other => panic!("expected CheckpointSchema, got {other:?}"),
+        }
+        // A serialized future-version document is rejected on load too.
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(matches!(
+            Checkpoint::from_json(&json),
+            Err(CoreError::CheckpointSchema { found, .. }) if found == CHECKPOINT_SCHEMA_VERSION + 7
+        ));
+    }
+
+    #[test]
+    fn pre_versioning_documents_are_rejected_not_misparsed() {
+        // A checkpoint written before schema_version existed has no such
+        // field; serde(default) decodes it as 0 and validation refuses it.
+        let c = sample();
+        let json = serde_json::to_string(&c).unwrap();
+        let legacy = json.replacen(
+            &format!("\"schema_version\":{CHECKPOINT_SCHEMA_VERSION},"),
+            "",
+            1,
+        );
+        assert_ne!(json, legacy, "test must actually strip the field");
+        assert!(matches!(
+            Checkpoint::from_json(&legacy),
+            Err(CoreError::CheckpointSchema { found: 0, .. })
+        ));
     }
 }

@@ -902,6 +902,7 @@ impl Trainer {
     /// Snapshots the complete job state into a [`Checkpoint`].
     pub fn to_checkpoint(&self) -> Checkpoint {
         Checkpoint {
+            schema_version: crate::checkpoint::CHECKPOINT_SCHEMA_VERSION,
             config: self.config.clone(),
             step: self.step,
             params: self.params.clone(),

@@ -72,6 +72,28 @@ pub enum CoreError {
         /// The invariant that failed to hold.
         invariant: &'static str,
     },
+    /// A checkpoint contained a NaN or infinite value. JSON cannot
+    /// represent these (serde writes `null`), so they are rejected loudly
+    /// at the serialization boundary instead of poisoning a restore.
+    NonFiniteCheckpoint {
+        /// Which section held the poison: "params", "optimizer", or
+        /// "stateful".
+        what: &'static str,
+        /// Index of the offending tensor (for "stateful", the device slot).
+        index: usize,
+    },
+    /// A checkpoint's format version is not one this build understands.
+    CheckpointSchema {
+        /// The version found in the document (0 for pre-versioning files).
+        found: u32,
+        /// The version this build writes and accepts.
+        supported: u32,
+    },
+    /// A checkpoint document could not be (de)serialized.
+    CheckpointFormat {
+        /// The underlying serialization failure.
+        reason: String,
+    },
     /// A tensor operation failed.
     Tensor(TensorError),
     /// A dataset/pipeline operation failed.
@@ -80,6 +102,8 @@ pub enum CoreError {
     Model(ModelError),
     /// A simulated device ran out of memory.
     Oom(OomError),
+    /// A durable-storage operation failed.
+    Store(vf_store::StoreError),
 }
 
 impl fmt::Display for CoreError {
@@ -131,10 +155,22 @@ impl fmt::Display for CoreError {
             CoreError::Internal { invariant } => {
                 write!(f, "internal invariant violated: {invariant}")
             }
+            CoreError::NonFiniteCheckpoint { what, index } => write!(
+                f,
+                "checkpoint {what}[{index}] contains a non-finite value; refusing to serialize NaN/Inf as null"
+            ),
+            CoreError::CheckpointSchema { found, supported } => write!(
+                f,
+                "checkpoint schema version {found} is not supported (this build reads version {supported})"
+            ),
+            CoreError::CheckpointFormat { reason } => {
+                write!(f, "checkpoint (de)serialization failed: {reason}")
+            }
             CoreError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
             CoreError::Data(e) => write!(f, "data pipeline failed: {e}"),
             CoreError::Model(e) => write!(f, "model execution failed: {e}"),
             CoreError::Oom(e) => write!(f, "{e}"),
+            CoreError::Store(e) => write!(f, "durable storage failed: {e}"),
         }
     }
 }
@@ -146,6 +182,7 @@ impl Error for CoreError {
             CoreError::Data(e) => Some(e),
             CoreError::Model(e) => Some(e),
             CoreError::Oom(e) => Some(e),
+            CoreError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -176,6 +213,13 @@ impl From<ModelError> for CoreError {
 impl From<OomError> for CoreError {
     fn from(e: OomError) -> Self {
         CoreError::Oom(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<vf_store::StoreError> for CoreError {
+    fn from(e: vf_store::StoreError) -> Self {
+        CoreError::Store(e)
     }
 }
 

@@ -60,7 +60,7 @@ pub mod perf_model;
 pub mod vnode;
 
 pub use chaos::{ChaosConfig, ChaosOutcome, ChaosReport, ChaosSupervisor};
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA_VERSION};
 pub use config::{OptimizerConfig, TrainerConfig};
 pub use engine::{StepReport, Trainer};
 pub use error::CoreError;

@@ -116,4 +116,40 @@ mod tests {
         let p = BackoffPolicy::new(1.0, 2.0, 30.0);
         assert_eq!(p.delay_s(u32::MAX), 30.0);
     }
+
+    #[test]
+    fn delays_are_monotonically_non_decreasing() {
+        // Any valid policy (factor clamped to ≥ 1) must never shrink its
+        // delay with more failures — the chaos retry loop charges these to
+        // simulated time and relies on the sequence being sorted.
+        for (base, factor, max) in [(0.5, 1.0, 10.0), (1.0, 2.0, 60.0), (2.0, 1.5, 7.0), (0.0, 3.0, 1.0)] {
+            let p = BackoffPolicy::new(base, factor, max);
+            let mut prev = 0.0;
+            for attempt in 0..200 {
+                let d = p.delay_s(attempt);
+                assert!(d >= prev, "delay shrank at attempt {attempt} for {p:?}: {d} < {prev}");
+                assert!(d <= p.max_s, "delay exceeded cap for {p:?}");
+                prev = d;
+            }
+        }
+    }
+
+    #[test]
+    fn policy_and_counter_survive_serde_round_trips() {
+        // Backoff state rides inside ChaosConfig and checkpoint-adjacent
+        // configs; a lossy round trip would silently change retry pricing.
+        let p = BackoffPolicy::new(0.25, 3.0, 45.0);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: BackoffPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        assert_eq!(p.delay_s(5), back.delay_s(5));
+
+        let mut b = Backoff::new(p);
+        b.next_delay_s();
+        b.next_delay_s();
+        let json = serde_json::to_string(&b).unwrap();
+        let mut back: Backoff = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+        assert_eq!(b.next_delay_s(), back.next_delay_s(), "counters advanced in lockstep");
+    }
 }

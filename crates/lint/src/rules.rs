@@ -28,6 +28,7 @@ pub const RULE_IDS: &[&str] = &[
     "stray-print",
     "registry-dep",
     "panic-ratchet",
+    "raw-fs",
     "bad-suppression",
 ];
 
@@ -54,6 +55,14 @@ const STRAY_PRINT_ALLOWED: &[&str] = &["crates/bench/", "crates/lint/"];
 
 /// Macros the `stray-print` rule forbids in library code.
 const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// Paths allowed to touch the real filesystem. Durable state must flow
+/// through `vf_store` (whose `disk` module is the audited bridge and whose
+/// simulator keeps fault injection deterministic); the bench binaries write
+/// reports, and the lint binary reads the sources it audits. Everywhere
+/// else, a bare `std::fs` call is un-simulated I/O that dodges the storage
+/// fault plan and the integrity checks.
+const RAW_FS_ALLOWED: &[&str] = &["crates/store/", "crates/bench/", "crates/lint/"];
 
 /// Identifiers whose presence in non-test library code violates
 /// `hash-iteration`: these collections iterate in hash order, which is
@@ -105,6 +114,17 @@ pub fn check_source(path: &str, src: &str) -> FileReport {
         AMBIENT_TIME_ALLOWED,
         "reads ambient wall-clock time; simulations must advance \
          vf_device::SimClock (only crates/bench may measure real time)",
+    );
+    check_identifier_rule(
+        path,
+        &lexed,
+        &sups,
+        &mut report,
+        "raw-fs",
+        &["fs"],
+        RAW_FS_ALLOWED,
+        "touches the real filesystem; durable I/O must go through vf-store \
+         (only crates/store, crates/bench, and the lint binary may use std::fs)",
     );
     check_thread_spawn(path, &lexed, &sups, &mut report);
     check_stray_print(path, &lexed, &sups, &mut report);
@@ -410,6 +430,37 @@ mod tests {
         // A function *named* println (no `!`) is not the macro.
         let r = check_source("crates/core/src/x.rs", "fn println_like() { println_like_call(); }\n");
         assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn raw_fs_is_flagged_outside_the_storage_layer() {
+        let r = check_source("crates/core/src/engine.rs", "use std::fs;\nfn f() { fs::write(\"x\", b\"y\").unwrap(); }\n");
+        assert!(r.diagnostics.iter().any(|d| d.rule == "raw-fs"), "{:?}", r.diagnostics);
+        // One diagnostic per line, not per token.
+        assert_eq!(r.diagnostics.iter().filter(|d| d.rule == "raw-fs").count(), 2);
+    }
+
+    #[test]
+    fn raw_fs_is_allowed_in_store_bench_and_lint() {
+        let src = "use std::fs;\n";
+        assert!(check_source("crates/store/src/disk.rs", src).diagnostics.is_empty());
+        assert!(check_source("crates/bench/src/bin/b.rs", src).diagnostics.is_empty());
+        assert!(check_source("crates/lint/src/workspace.rs", src).diagnostics.is_empty());
+        // Test code may use the filesystem for scratch space.
+        let test_src = "#[cfg(test)]\nmod tests {\n    use std::fs;\n}\n";
+        assert!(check_source("crates/core/src/x.rs", test_src).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn raw_fs_suppression_is_waived_and_lookalikes_pass() {
+        let src = "// vf-lint: allow(raw-fs) — documented bridge, validated downstream\n\
+                   fn f() { std::fs::read(\"x\").unwrap(); }\n";
+        let r = check_source("crates/core/src/x.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.waived, 1);
+        // `fs` only matches as a whole token: ElasticWfs and offsets pass.
+        let r = check_source("crates/sched/src/lib.rs", "let w = ElasticWfs::new(offsets);\n");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
     }
 
     #[test]

@@ -193,6 +193,33 @@ fn stray_print_exemption_stays_scoped_to_the_bench_crate() {
 }
 
 #[test]
+fn raw_fs_fires_outside_the_storage_layer() {
+    let fx = Fixture::new(
+        "use std::fs;\n\
+         pub fn f() { let _ = fs::read(\"state.json\"); }\n",
+    );
+    let errs = fx.errors("raw-fs");
+    assert_eq!(errs.len(), 2, "{errs:?}");
+    assert!(errs.iter().all(|(p, _)| p == "crates/foo/src/lib.rs"));
+}
+
+#[test]
+fn raw_fs_allows_the_store_and_bench_crates() {
+    let fx = Fixture::new("pub fn f() {}\n");
+    for krate in ["store", "bench"] {
+        fx.write(
+            &format!("crates/{krate}/Cargo.toml"),
+            &format!("[package]\nname = \"{krate}\"\nversion = \"0.1.0\"\n"),
+        );
+        fx.write(
+            &format!("crates/{krate}/src/lib.rs"),
+            "pub fn dump(bytes: &[u8]) { std::fs::write(\"out\", bytes).unwrap(); }\n",
+        );
+    }
+    assert!(fx.errors("raw-fs").is_empty());
+}
+
+#[test]
 fn registry_dep_fires_on_version_only_dependency() {
     let fx = Fixture::new("pub fn f() {}\n");
     fx.write(

@@ -1,0 +1,146 @@
+//! Real-filesystem bridge: export/import a [`SimStore`]'s objects.
+//!
+//! Everything else in the workspace runs against the deterministic
+//! simulator, but a checkpoint that can never leave the process is not
+//! durable in any useful sense. This module is the *only* place (outside
+//! the bench harnesses) where the workspace touches `std::fs` — a
+//! confinement the `raw-fs` lint rule enforces — and it deliberately does
+//! nothing clever: objects map to files under a root directory, object
+//! path separators map to subdirectories, and import trusts nothing (the
+//! checksum layer re-validates whatever comes back).
+
+use crate::error::StoreError;
+use crate::fault::StorageFaultPlan;
+use crate::sim::SimStore;
+use std::fs;
+use std::path::Path;
+
+fn io_err(e: std::io::Error, what: &str, path: &Path) -> StoreError {
+    StoreError::Io { message: format!("{what} {}: {e}", path.display()) }
+}
+
+/// Writes every object of `store` under `root` (created if missing),
+/// returning the number of files written. Object paths become relative
+/// file paths, so `ckpt-…/shard-00000.bin` lands in a subdirectory.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on any filesystem failure.
+pub fn export_dir(store: &SimStore, root: &Path) -> Result<u64, StoreError> {
+    let mut written = 0;
+    for path in store.list("") {
+        let Some(bytes) = store.peek(&path) else { continue };
+        let file = root.join(&path);
+        if let Some(parent) = file.parent() {
+            fs::create_dir_all(parent).map_err(|e| io_err(e, "create", parent))?;
+        }
+        fs::write(&file, bytes).map_err(|e| io_err(e, "write", &file))?;
+        written += 1;
+    }
+    Ok(written)
+}
+
+/// Reads every regular file under `root` into a fresh [`SimStore`] with
+/// the given plan and capacity, objects marked durable. File contents are
+/// imported as-is; validation is the checkpoint layer's job.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failures and
+/// [`StoreError::InvalidConfig`]/[`StoreError::DiskFull`] when the files
+/// do not fit the requested store.
+pub fn import_dir(
+    root: &Path,
+    plan: StorageFaultPlan,
+    capacity_bytes: u64,
+) -> Result<SimStore, StoreError> {
+    let mut store = SimStore::new(plan, capacity_bytes)?;
+    let mut stack = vec![root.to_path_buf()];
+    let mut total: u64 = 0;
+    while let Some(dir) = stack.pop() {
+        let entries = fs::read_dir(&dir).map_err(|e| io_err(e, "read dir", &dir))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(e, "read dir entry in", &dir))?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            let bytes = fs::read(&path).map_err(|e| io_err(e, "read", &path))?;
+            total += bytes.len() as u64;
+            if total > capacity_bytes {
+                return Err(StoreError::DiskFull {
+                    used_bytes: total - bytes.len() as u64,
+                    requested_bytes: bytes.len() as u64,
+                    capacity_bytes,
+                });
+            }
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| StoreError::Io {
+                    message: format!("{} escaped import root", path.display()),
+                })?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            store.import_object(&rel, bytes);
+        }
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vf-store-disk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let root = scratch("round-trip");
+        let mut store = SimStore::new(StorageFaultPlan::quiet(1), 1 << 20).unwrap();
+        store.write("ckpt-a/shard-00000.bin", b"alpha").unwrap();
+        store.write("ckpt-a/MANIFEST.json", b"{}").unwrap();
+        store.write("top-level", b"beta").unwrap();
+
+        let written = export_dir(&store, &root).unwrap();
+        assert_eq!(written, 3);
+
+        let mut back = import_dir(&root, StorageFaultPlan::quiet(1), 1 << 20).unwrap();
+        assert_eq!(back.list(""), store.list(""));
+        assert_eq!(back.read("ckpt-a/shard-00000.bin").unwrap(), b"alpha");
+        assert_eq!(back.read("top-level").unwrap(), b"beta");
+        // Imported objects are durable: power loss must not tear them.
+        back.power_loss();
+        assert_eq!(back.read("top-level").unwrap(), b"beta");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn import_respects_capacity() {
+        let root = scratch("capacity");
+        let mut store = SimStore::new(StorageFaultPlan::quiet(1), 1 << 20).unwrap();
+        store.write("big", &[0u8; 100]).unwrap();
+        export_dir(&store, &root).unwrap();
+        assert!(matches!(
+            import_dir(&root, StorageFaultPlan::quiet(1), 50),
+            Err(StoreError::DiskFull { .. })
+        ));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_root_is_an_io_error() {
+        let root = scratch("missing");
+        assert!(matches!(
+            import_dir(&root, StorageFaultPlan::quiet(1), 100),
+            Err(StoreError::Io { .. })
+        ));
+    }
+}

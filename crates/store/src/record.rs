@@ -1,0 +1,221 @@
+//! The durable checkpoint record format.
+//!
+//! A checkpoint is stored as a directory of fixed-size **shards** plus one
+//! **manifest**:
+//!
+//! ```text
+//! ckpt-00000000000000000120/
+//!   shard-00000.bin     payload bytes [0, shard_bytes)
+//!   shard-00001.bin     payload bytes [shard_bytes, 2*shard_bytes)
+//!   ...
+//!   MANIFEST.json       schema_version, step, per-shard + whole-payload CRC32s
+//! ```
+//!
+//! The manifest is written *last*, with the same write-temp → sync → rename
+//! protocol as the shards; its rename is the commit point. A checkpoint
+//! directory without a manifest is by definition uncommitted garbage, which
+//! is what makes crash-during-save safe: either the manifest landed and
+//! every shard it names is durable, or it did not land and the scan sweeps
+//! the debris.
+//!
+//! Step numbers are zero-padded to 20 digits so the store's lexicographic
+//! listing order is also step order for every representable `u64`.
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use serde::{Deserialize, Serialize};
+
+/// The manifest format version this build writes and reads.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// One shard's entry in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMeta {
+    /// File name within the checkpoint directory (e.g. `shard-00000.bin`).
+    pub name: String,
+    /// Exact shard length in bytes.
+    pub len: u64,
+    /// CRC32 of the shard's bytes.
+    pub crc32: u32,
+}
+
+/// The whole-checkpoint manifest: the unit of commit and of validation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version; readers reject versions they do not understand.
+    pub schema_version: u32,
+    /// Training step the payload snapshots.
+    pub step: u64,
+    /// Total payload length in bytes (sum of shard lengths).
+    pub payload_len: u64,
+    /// CRC32 of the concatenated payload — defense in depth over the
+    /// per-shard checksums (catches shard reordering or substitution).
+    pub payload_crc32: u32,
+    /// Every shard, in payload order.
+    pub shards: Vec<ShardMeta>,
+}
+
+impl Manifest {
+    /// Builds the manifest for `payload` split into `shard_bytes` chunks,
+    /// returning it with the shard slices in order. `shard_bytes` is
+    /// clamped to at least 1; an empty payload yields zero shards.
+    pub fn build(step: u64, payload: &[u8], shard_bytes: usize) -> (Self, Vec<&[u8]>) {
+        let chunks: Vec<&[u8]> = payload.chunks(shard_bytes.max(1)).collect();
+        let shards = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ShardMeta {
+                name: shard_name(i),
+                len: c.len() as u64,
+                crc32: crc32(c),
+            })
+            .collect();
+        let manifest = Manifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            step,
+            payload_len: payload.len() as u64,
+            payload_crc32: crc32(payload),
+            shards,
+        };
+        (manifest, chunks)
+    }
+
+    /// Serializes the manifest to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::BadManifest`] if serialization fails (it
+    /// cannot for these types under normal conditions).
+    pub fn to_json(&self) -> Result<String, StoreError> {
+        serde_json::to_string(self).map_err(|e| StoreError::BadManifest {
+            path: checkpoint_dir(self.step),
+            reason: e.to_string(),
+        })
+    }
+
+    /// Parses a manifest read from `path`, rejecting unknown schema
+    /// versions.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadManifest`] on malformed JSON,
+    /// [`StoreError::UnsupportedSchema`] on a version mismatch.
+    pub fn from_json(path: &str, json: &str) -> Result<Self, StoreError> {
+        let m: Manifest = serde_json::from_str(json).map_err(|e| StoreError::BadManifest {
+            path: path.to_string(),
+            reason: e.to_string(),
+        })?;
+        if m.schema_version != MANIFEST_SCHEMA_VERSION {
+            return Err(StoreError::UnsupportedSchema {
+                found: m.schema_version,
+                supported: MANIFEST_SCHEMA_VERSION,
+            });
+        }
+        Ok(m)
+    }
+}
+
+/// The store directory for a step's checkpoint, zero-padded so
+/// lexicographic order equals step order.
+pub fn checkpoint_dir(step: u64) -> String {
+    format!("ckpt-{step:020}")
+}
+
+/// The step a checkpoint directory name encodes, if well-formed.
+pub fn step_of_dir(dir: &str) -> Option<u64> {
+    let digits = dir.strip_prefix("ckpt-")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The file name of shard `index`.
+pub fn shard_name(index: usize) -> String {
+    format!("shard-{index:05}.bin")
+}
+
+/// The manifest file name within a checkpoint directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
+
+/// The suffix temp objects carry before their commit rename.
+pub const TEMP_SUFFIX: &str = ".tmp";
+
+/// The prefix quarantined checkpoint objects are moved under.
+pub const QUARANTINE_PREFIX: &str = "quarantine/";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_splits_and_checksums() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let (m, chunks) = Manifest::build(42, &payload, 256);
+        assert_eq!(m.schema_version, MANIFEST_SCHEMA_VERSION);
+        assert_eq!(m.step, 42);
+        assert_eq!(m.payload_len, 1000);
+        assert_eq!(m.shards.len(), 4); // 256+256+256+232
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(m.shards[3].len, 232);
+        assert_eq!(m.shards[0].name, "shard-00000.bin");
+        for (meta, chunk) in m.shards.iter().zip(&chunks) {
+            assert_eq!(meta.crc32, crc32(chunk));
+        }
+        assert_eq!(m.payload_crc32, crc32(&payload));
+    }
+
+    #[test]
+    fn empty_payload_and_degenerate_shard_size() {
+        let (m, chunks) = Manifest::build(0, b"", 64);
+        assert!(chunks.is_empty());
+        assert_eq!(m.payload_len, 0);
+        // shard_bytes 0 is clamped, not a panic.
+        let (m, chunks) = Manifest::build(0, b"abc", 0);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(m.shards.len(), 3);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let (m, _) = Manifest::build(7, b"hello world", 4);
+        let json = m.to_json().unwrap();
+        let back = Manifest::from_json("m", &json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let (mut m, _) = Manifest::build(7, b"hello", 4);
+        m.schema_version = 999;
+        let json = m.to_json().unwrap();
+        match Manifest::from_json("m", &json) {
+            Err(StoreError::UnsupportedSchema { found: 999, supported }) => {
+                assert_eq!(supported, MANIFEST_SCHEMA_VERSION);
+            }
+            other => panic!("expected UnsupportedSchema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_manifest_is_rejected() {
+        assert!(matches!(
+            Manifest::from_json("m", "{not json"),
+            Err(StoreError::BadManifest { .. })
+        ));
+    }
+
+    #[test]
+    fn dir_names_sort_by_step() {
+        let steps = [0u64, 9, 10, 99, 1_000_000, u64::MAX];
+        let mut dirs: Vec<String> = steps.iter().map(|&s| checkpoint_dir(s)).collect();
+        let sorted = dirs.clone();
+        dirs.sort();
+        assert_eq!(dirs, sorted, "lexicographic order must equal step order");
+        for (&s, d) in steps.iter().zip(&dirs) {
+            assert_eq!(step_of_dir(d), Some(s));
+        }
+        assert_eq!(step_of_dir("ckpt-xyz"), None);
+        assert_eq!(step_of_dir("other-00000000000000000001"), None);
+    }
+}

@@ -31,6 +31,12 @@ cargo run --release -q -p vf-bench --bin trace_report -- --smoke
 echo "== tier 1: profile smoke (critical path + self-time invariants) =="
 cargo run --release -q -p vf-bench --bin trace_profile -- --smoke
 
+echo "== tier 1: store smoke (save/restore throughput, 100% corruption detection) =="
+cargo run --release -q -p vf-bench --bin store_bench -- --smoke
+
+echo "== tier 1: recovery drill smoke (durable restores bit-exact, zero silent restores) =="
+cargo run --release -q -p vf-bench --bin recovery_drill -- --smoke
+
 echo "== tier 1: bench gate (committed history vs committed baseline) =="
 cargo run --release -q -p vf-bench --bin bench_gate
 

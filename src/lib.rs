@@ -24,6 +24,7 @@
 //! | [`core`] | `vf-core` | virtual nodes, the trainer, elasticity, §7 extensions |
 //! | [`sched`] | `vf-sched` | elastic WFS scheduler, cluster simulator, traces |
 //! | [`obs`] | `vf-obs` | deterministic tracing + metrics, Chrome trace export |
+//! | [`store`] | `vf-store` | durable checkpoints: simulated storage, checksums, fault injection |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use vf_device as device;
 pub use vf_models as models;
 pub use vf_obs as obs;
 pub use vf_sched as sched;
+pub use vf_store as store;
 pub use vf_tensor as tensor;
 
 /// Commonly used items, re-exported for `use virtualflow::prelude::*`.
