@@ -34,46 +34,72 @@ struct ScenarioResult {
     bit_identical_to_fault_free: bool,
 }
 
-fn parts() -> (Arc<dyn Architecture>, Arc<Dataset>, TrainerConfig) {
-    let dataset = Arc::new(ClusterTask::easy(SEED).generate().expect("generates"));
+/// The shared training-job ingredients every scenario starts from.
+type JobParts = (Arc<dyn Architecture>, Arc<Dataset>, TrainerConfig);
+
+fn parts() -> Result<JobParts, String> {
+    let dataset = Arc::new(
+        ClusterTask::easy(SEED)
+            .generate()
+            .map_err(|e| format!("dataset: {e}"))?,
+    );
     let arch: Arc<dyn Architecture> = Arc::new(Mlp::new(16, vec![8], 4).with_batch_norm());
     let config = TrainerConfig::simple(8, 64, 0.1, SEED);
-    (arch, dataset, config)
+    Ok((arch, dataset, config))
 }
 
 fn devices(range: std::ops::Range<u32>) -> Vec<DeviceId> {
     range.map(DeviceId).collect()
 }
 
-/// The fault plan for a named intensity, seeded off the bench seed.
-fn plan_for(name: &str) -> (FaultPlan, Option<CommFaultModel>) {
-    match name {
-        "fault-free" => (FaultPlan::new(SEED), None),
-        "mild" => (
-            FaultPlan::new(SEED)
-                .with_crashes(FailureModel::new(400.0, SEED).expect("valid"))
-                .with_preemptions(SpotModel::new(600.0, 60.0).expect("valid")),
-            Some(CommFaultModel::new(SEED, 0.01, 0.002, 0.01)),
-        ),
-        "heavy" => (
-            FaultPlan::new(SEED)
-                .with_crashes(FailureModel::new(180.0, SEED).expect("valid"))
-                .with_preemptions(SpotModel::new(300.0, 45.0).expect("valid")),
-            Some(CommFaultModel::new(SEED, 0.05, 0.01, 0.03)),
-        ),
-        "savage" => (
-            FaultPlan::new(SEED)
-                .with_crashes(FailureModel::new(90.0, SEED).expect("valid"))
-                .with_preemptions(SpotModel::new(180.0, 30.0).expect("valid")),
-            Some(CommFaultModel::new(SEED, 0.10, 0.02, 0.05)),
-        ),
-        other => unreachable!("unknown scenario {other}"),
-    }
+/// One fault intensity: crash/preemption mean intervals plus comm-fault
+/// rates. `fault-free` carries no models at all.
+struct Intensity {
+    name: &'static str,
+    crashes: Option<(f64, (f64, f64))>,
+    comm: Option<(f64, f64, f64)>,
 }
 
-fn run_scenario(name: &str, steps: u64) -> (ChaosReport, Vec<vf_tensor::Tensor>) {
-    let (arch, dataset, config) = parts();
-    let (plan, comm) = plan_for(name);
+const INTENSITIES: &[Intensity] = &[
+    Intensity { name: "fault-free", crashes: None, comm: None },
+    Intensity {
+        name: "mild",
+        crashes: Some((400.0, (600.0, 60.0))),
+        comm: Some((0.01, 0.002, 0.01)),
+    },
+    Intensity {
+        name: "heavy",
+        crashes: Some((180.0, (300.0, 45.0))),
+        comm: Some((0.05, 0.01, 0.03)),
+    },
+    Intensity {
+        name: "savage",
+        crashes: Some((90.0, (180.0, 30.0))),
+        comm: Some((0.10, 0.02, 0.05)),
+    },
+];
+
+/// The fault plan for a named intensity, seeded off the bench seed.
+fn plan_for(name: &str) -> Result<(FaultPlan, Option<CommFaultModel>), String> {
+    let spec = INTENSITIES
+        .iter()
+        .find(|i| i.name == name)
+        .ok_or_else(|| format!("unknown scenario {name}"))?;
+    let mut plan = FaultPlan::new(SEED);
+    if let Some((mtbf_s, (preempt_s, notice_s))) = spec.crashes {
+        plan = plan
+            .with_crashes(FailureModel::new(mtbf_s, SEED).map_err(|e| format!("{name}: {e}"))?)
+            .with_preemptions(
+                SpotModel::new(preempt_s, notice_s).map_err(|e| format!("{name}: {e}"))?,
+            );
+    }
+    let comm = spec.comm.map(|(drop, dup, delay)| CommFaultModel::new(SEED, drop, dup, delay));
+    Ok((plan, comm))
+}
+
+fn run_scenario(name: &str, steps: u64) -> Result<(ChaosReport, Vec<vf_tensor::Tensor>), String> {
+    let (arch, dataset, config) = parts()?;
+    let (plan, comm) = plan_for(name)?;
     let mut cfg = ChaosConfig::new(plan, steps);
     cfg.comm = comm;
     cfg.cooldown_s = 90.0;
@@ -86,22 +112,35 @@ fn run_scenario(name: &str, steps: u64) -> (ChaosReport, Vec<vf_tensor::Tensor>)
         &devices(8..16),
         cfg,
     )
-    .expect("supervisor");
-    let out = sup.run().expect("scenario survives its fault plan");
+    .map_err(|e| format!("{name}: supervisor: {e}"))?;
+    let out = sup
+        .run()
+        .map_err(|e| format!("{name}: scenario did not survive its fault plan: {e}"))?;
     let params = out.trainer.params().to_vec();
-    (out.report, params)
+    Ok((out.report, params))
 }
 
 fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    match run(smoke) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(smoke: bool) -> Result<ExitCode, String> {
     let steps: u64 = if smoke { 120 } else { 300 };
     println!("== chaos bench: {steps} steps per scenario ==\n");
 
     // Plain-trainer reference for the bit-equality assertion.
     let reference = {
-        let (arch, dataset, config) = parts();
-        let mut t = Trainer::new(arch, dataset, config, &devices(0..4)).expect("trainer");
-        t.run_steps(steps as usize).expect("runs");
+        let (arch, dataset, config) = parts()?;
+        let mut t = Trainer::new(arch, dataset, config, &devices(0..4))
+            .map_err(|e| format!("reference trainer: {e}"))?;
+        t.run_steps(steps as usize).map_err(|e| format!("reference run: {e}"))?;
         t.params().to_vec()
     };
 
@@ -124,11 +163,13 @@ fn main() -> ExitCode {
     let mut fault_free: Option<ChaosReport> = None;
     let mut diverged = false;
     for &name in scenarios {
-        let (report, params) = run_scenario(name, steps);
+        let (report, params) = run_scenario(name, steps)?;
         if name == "fault-free" {
             fault_free = Some(report.clone());
         }
-        let base = fault_free.as_ref().expect("fault-free runs first");
+        let Some(base) = fault_free.as_ref() else {
+            return Err("scenario list must start with fault-free".to_string());
+        };
         let identical = params == reference;
         if !identical {
             eprintln!("FAIL: scenario '{name}' diverged from the fault-free trajectory");
@@ -178,9 +219,8 @@ fn main() -> ExitCode {
         &rows,
     );
 
-    let metrics_json: serde_json::Value =
-        // vf-lint: allow(panic-ratchet) — registry rendering is self-tested; abort loudly
-        serde_json::from_str(&metrics.to_json()).expect("metrics registry renders valid JSON");
+    let metrics_json: serde_json::Value = serde_json::from_str(&metrics.to_json())
+        .map_err(|e| format!("metrics registry rendered invalid JSON: {e}"))?;
     emit(
         if smoke { "BENCH_chaos_smoke" } else { "BENCH_chaos" },
         &serde_json::json!({
@@ -193,9 +233,9 @@ fn main() -> ExitCode {
     if !smoke {
         append_history(&HistoryRecord::from_metrics("chaos_bench", &metrics));
     }
-    if diverged {
+    Ok(if diverged {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
-    }
+    })
 }

@@ -11,6 +11,7 @@
 //! simulator produced, and its parameters compared to a fixed-allocation
 //! run.
 
+use std::process::ExitCode;
 use std::sync::Arc;
 use vf_bench::report::{emit, improvement_pct, print_table};
 use vf_bench::standins::{bert_base_glue, GlueTask};
@@ -62,7 +63,17 @@ fn accuracy_at(curve: &[f32], work_fraction: f64) -> f32 {
     curve[idx]
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     println!("== Figure 12: 3-job elastic trace on 4 V100s ==\n");
     let config = SimConfig::v100_cluster(4);
     let trace = three_job_trace(&config.link);
@@ -86,19 +97,20 @@ fn main() {
     );
 
     let makespan_gain = improvement_pct(elastic.metrics.makespan_s, static_.metrics.makespan_s);
-    let top_jct_gain = improvement_pct(
-        elastic.jobs[2].jct_s().expect("finished"),
-        static_.jobs[2].jct_s().expect("finished"),
-    );
+    let elastic_top_jct = elastic.jobs[2]
+        .jct_s()
+        .ok_or("elastic run never finished the high-priority job")?;
+    let static_top_jct = static_.jobs[2]
+        .jct_s()
+        .ok_or("static run never finished the high-priority job")?;
+    let top_jct_gain = improvement_pct(elastic_top_jct, static_top_jct);
     println!(
         "\nmakespan: {:.0}s vs {:.0}s ({:.0}% lower; paper: 38%)",
         elastic.metrics.makespan_s, static_.metrics.makespan_s, makespan_gain
     );
     println!(
         "high-priority JCT: {:.0}s vs {:.0}s ({:.0}% lower; paper: 45%)",
-        elastic.jobs[2].jct_s().expect("finished"),
-        static_.jobs[2].jct_s().expect("finished"),
-        top_jct_gain
+        elastic_top_jct, static_top_jct, top_jct_gain
     );
     assert!(makespan_gain > 10.0);
     assert!(top_jct_gain > 25.0);
@@ -106,13 +118,17 @@ fn main() {
     // Accuracy preservation: replay job 0's actual resize schedule (its
     // allocation after every scheduling event) through the numeric trainer.
     println!("\naccuracy preservation check (numeric replay of job 0's resizes):");
-    let dataset = Arc::new(ClusterTask::easy(99).generate().expect("generates"));
+    let dataset = Arc::new(
+        ClusterTask::easy(99)
+            .generate()
+            .map_err(|e| format!("dataset: {e}"))?,
+    );
     let arch = Arc::new(Mlp::linear(16, 4));
     let tc = TrainerConfig::simple(8, 64, 0.2, 99);
-    let mut resized =
-        Trainer::new(arch.clone(), dataset.clone(), tc.clone(), &[DeviceId(0)]).expect("valid");
-    let mut fixed =
-        Trainer::new(arch, dataset.clone(), tc, &[DeviceId(0)]).expect("valid");
+    let mut resized = Trainer::new(arch.clone(), dataset.clone(), tc.clone(), &[DeviceId(0)])
+        .map_err(|e| format!("resized trainer: {e}"))?;
+    let mut fixed = Trainer::new(arch, dataset.clone(), tc, &[DeviceId(0)])
+        .map_err(|e| format!("fixed trainer: {e}"))?;
     // Walk the recorded allocations of job 0 in the elastic run.
     let allocs: Vec<u32> = elastic
         .timeline
@@ -122,12 +138,17 @@ fn main() {
         .collect();
     for &gpus in allocs.iter().take(6) {
         let ids: Vec<DeviceId> = (0..gpus.min(8)).map(DeviceId).collect();
-        resized.resize(&ids).expect("resize is legal");
-        resized.run_steps(2).expect("train");
-        fixed.run_steps(2).expect("train");
+        resized
+            .resize(&ids)
+            .map_err(|e| format!("resize to {gpus} devices: {e}"))?;
+        resized.run_steps(2).map_err(|e| format!("resized train: {e}"))?;
+        fixed.run_steps(2).map_err(|e| format!("fixed train: {e}"))?;
     }
     assert_eq!(resized.params(), fixed.params());
-    let acc = resized.evaluate(&dataset).expect("eval").accuracy;
+    let acc = resized
+        .evaluate(&dataset)
+        .map_err(|e| format!("eval: {e}"))?
+        .accuracy;
     println!(
         "  replayed {} allocation changes: parameters identical, accuracy {:.2}% ✓",
         allocs.len().min(6),
@@ -154,7 +175,9 @@ fn main() {
                 .iter()
                 .map(|&(t, frac)| (t, accuracy_at(curve, frac)))
                 .collect();
-            let (t_final, acc_final) = *acc_series.last().expect("non-empty series");
+            let (t_final, acc_final) = *acc_series
+                .last()
+                .ok_or("progress series lost its arrival sample")?;
             println!(
                 "  {label:7} {}: reaches {:.1}% at t={:.0}s",
                 result.jobs[j].spec.name,
@@ -171,7 +194,7 @@ fn main() {
     // Final accuracies are identical under both schedulers (same curve,
     // full work) — the "accuracies preserved" claim of the figure.
     for curve in &curves {
-        let last = *curve.last().expect("non-empty curve");
+        let last = *curve.last().ok_or("stand-in produced an empty curve")?;
         assert_eq!(accuracy_at(curve, 1.0), last);
     }
 
@@ -185,4 +208,5 @@ fn main() {
             "accuracy_over_time": panels,
         }),
     );
+    Ok(())
 }

@@ -368,6 +368,7 @@ impl ChaosSupervisor {
             // while enabled. A storage fault here is survivable — the next
             // periodic checkpoint retries, and the in-memory copy remains.
             let payload = last_checkpoint.to_json()?;
+            // vf-lint: allow(discarded-result) — survivable fault; periodic save retries
             let _ = s.save(last_checkpoint.step, payload.as_bytes());
         }
         let param_bytes: u64 = trainer.params().iter().map(|t| t.size_bytes() as u64).sum();
@@ -926,6 +927,7 @@ impl ChaosSupervisor {
             self.last_checkpoint = self.trainer.to_checkpoint();
             if let Some(store) = self.store.as_mut() {
                 let payload = self.last_checkpoint.to_json()?;
+                // vf-lint: allow(discarded-result) — faults here are the drill's subject; recovery uses the last committed manifest
                 let _ = store.save(self.last_checkpoint.step, payload.as_bytes());
                 self.clock.advance(store.drain_time_s());
             }

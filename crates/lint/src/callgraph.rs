@@ -1,0 +1,181 @@
+//! The over-approximate workspace call graph and its transitive facts.
+//!
+//! Built on the [`crate::symbols`] resolution policy, the graph stores
+//! per-function callee sets plus the fixpoint of four reachability facts
+//! the semantic passes consume:
+//!
+//! * `lock_reach` — every lock key (`file_stem::receiver`) a function may
+//!   acquire, directly or through calls;
+//! * `raw_reach` — whether a function may write through a raw pointer;
+//! * `claim_reach` — whether it may register a sanitizer claim;
+//! * `submit_reach` — whether it may hand work to the pool.
+//!
+//! Because resolution is by name, the graph is an over-approximation of
+//! real control flow wherever names collide and an under-approximation
+//! where calls go through trait objects, function parameters, or
+//! std-shadowed method names (see `symbols::METHOD_SHADOWED`). The passes
+//! are designed so both directions degrade safely: extra edges produce
+//! extra checks, and dropped edges only relax checks that the runtime
+//! sanitizer still covers dynamically.
+
+use std::collections::BTreeSet;
+
+use crate::parse::{ParsedFile, CLAIM_NAMES, SUBMIT_NAMES};
+use crate::symbols::{FnId, SymbolIndex};
+
+/// The resolved call graph plus transitive per-function facts.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Resolved callee ids per function, sorted and deduplicated.
+    pub callees: Vec<Vec<FnId>>,
+    /// Transitive lock keys each function may acquire.
+    pub lock_reach: Vec<BTreeSet<String>>,
+    /// May (transitively) write through a raw pointer.
+    pub raw_reach: Vec<bool>,
+    /// May (transitively) register a sanitizer claim.
+    pub claim_reach: Vec<bool>,
+    /// May (transitively) submit work to the pool.
+    pub submit_reach: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Resolves every call site and runs the reachability fixpoint.
+    pub fn build(files: &[ParsedFile], index: &SymbolIndex) -> CallGraph {
+        let n = index.fns.len();
+        let mut g = CallGraph {
+            callees: vec![Vec::new(); n],
+            lock_reach: vec![BTreeSet::new(); n],
+            raw_reach: vec![false; n],
+            claim_reach: vec![false; n],
+            submit_reach: vec![false; n],
+        };
+
+        for id in 0..n {
+            let file = index.file_of(id);
+            let def = index.def(files, id);
+            let mut callees: Vec<FnId> = def
+                .calls
+                .iter()
+                .flat_map(|c| index.resolve(&c.name, c.method, file))
+                .collect();
+            callees.sort_unstable();
+            callees.dedup();
+            g.callees[id] = callees;
+
+            // Direct facts.
+            let stem = &files[file].stem;
+            for l in &def.locks {
+                g.lock_reach[id].insert(format!("{stem}::{}", l.key));
+            }
+            g.raw_reach[id] = !def.raw_writes.is_empty();
+            for c in &def.calls {
+                if CLAIM_NAMES.contains(&c.name.as_str()) {
+                    g.claim_reach[id] = true;
+                }
+                if SUBMIT_NAMES.contains(&c.name.as_str()) {
+                    g.submit_reach[id] = true;
+                }
+            }
+        }
+
+        // Propagate to a fixpoint. Each round unions callee facts into the
+        // caller; the loop ends when a full sweep changes nothing (bounded
+        // by the lattice height, so it always terminates).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in 0..n {
+                for k in 0..g.callees[id].len() {
+                    let c = g.callees[id][k];
+                    if c == id {
+                        continue;
+                    }
+                    if g.raw_reach[c] && !g.raw_reach[id] {
+                        g.raw_reach[id] = true;
+                        changed = true;
+                    }
+                    if g.claim_reach[c] && !g.claim_reach[id] {
+                        g.claim_reach[id] = true;
+                        changed = true;
+                    }
+                    if g.submit_reach[c] && !g.submit_reach[id] {
+                        g.submit_reach[id] = true;
+                        changed = true;
+                    }
+                    if !g.lock_reach[c].is_empty() {
+                        let extra: Vec<String> = g.lock_reach[c]
+                            .difference(&g.lock_reach[id])
+                            .cloned()
+                            .collect();
+                        if !extra.is_empty() {
+                            g.lock_reach[id].extend(extra);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parse};
+
+    fn build(srcs: &[(&str, &str)]) -> (Vec<ParsedFile>, SymbolIndex, CallGraph) {
+        let files: Vec<ParsedFile> = srcs
+            .iter()
+            .map(|(p, s)| parse::parse_file(p, &lexer::lex(s)))
+            .collect();
+        let index = SymbolIndex::build(&files);
+        let g = CallGraph::build(&files, &index);
+        (files, index, g)
+    }
+
+    fn id_of(files: &[ParsedFile], index: &SymbolIndex, name: &str) -> FnId {
+        (0..index.fns.len())
+            .find(|&i| index.def(files, i).name == name)
+            .unwrap_or_else(|| panic!("fn {name} not in index"))
+    }
+
+    #[test]
+    fn lock_keys_propagate_transitively_across_files() {
+        let (files, index, g) = build(&[
+            (
+                "crates/a/src/pool.rs",
+                "pub fn inner(&self) { let _g = self.queue.lock(); }",
+            ),
+            ("crates/b/src/lib.rs", "pub fn outer() { inner(); }"),
+        ]);
+        let outer = id_of(&files, &index, "outer");
+        assert!(g.lock_reach[outer].contains("pool::queue"));
+    }
+
+    #[test]
+    fn raw_claim_and_submit_facts_propagate() {
+        let (files, index, g) = build(&[(
+            "crates/a/src/lib.rs",
+            "unsafe fn leaf(p: *mut f32) { *p = 0.0; }\n\
+             fn mid(p: *mut f32) { unsafe { leaf(p) } claim_region(p, 0..1); }\n\
+             fn top(p: *mut f32) { mid(p); parallel_rows(1, |_r| {}); }\n",
+        )]);
+        let top = id_of(&files, &index, "top");
+        let mid = id_of(&files, &index, "mid");
+        assert!(g.raw_reach[mid] && g.raw_reach[top]);
+        assert!(g.claim_reach[mid] && g.claim_reach[top]);
+        assert!(g.submit_reach[top]);
+        assert!(!g.submit_reach[mid]);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let (files, index, g) = build(&[(
+            "crates/a/src/lib.rs",
+            "fn a(n: u32) { if n > 0 { b(n - 1); } }\nfn b(n: u32) { a(n); }\n",
+        )]);
+        let a = id_of(&files, &index, "a");
+        assert!(g.callees[a].len() == 1);
+    }
+}

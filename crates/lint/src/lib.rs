@@ -9,7 +9,7 @@
 //! and trajectories stop replaying. `vf-lint` turns those conventions into
 //! checked invariants:
 //!
-//! * [`rules`] — the catalog: `hash-iteration`, `ambient-time`,
+//! * [`rules`] — the per-file catalog: `hash-iteration`, `ambient-time`,
 //!   `ad-hoc-thread`, `registry-dep`, and the `panic-ratchet`.
 //! * [`baseline`] — the one-way ratchet over panic-family call sites in
 //!   library code (`lint-baseline.toml`).
@@ -19,18 +19,37 @@
 //!   string literals stripped, `#[cfg(test)]` regions mapped).
 //! * [`workspace`] — discovery and the full audit pass.
 //!
-//! Run it with `cargo run -p vf-lint -- --deny`; see DESIGN.md §11 for the
-//! rule catalog and policy. The dynamic complement to these static checks
-//! is `vf_tensor::pool`'s debug-build race sanitizer, which verifies at
-//! runtime that parallel chunks claim disjoint output regions.
+//! On top of the per-file rules sits the semantic engine (DESIGN.md §16):
+//!
+//! * [`parse`] — an item/expression-level parser over the token stream:
+//!   functions, calls, lock acquisitions with guard scopes, closures,
+//!   raw-pointer writes, `unsafe` sites, and `let _ =` discards.
+//! * [`symbols`] — the workspace-wide symbol index (free functions by
+//!   name; methods same-file with a std-shadow deny-list).
+//! * [`callgraph`] — the over-approximate call graph, with transitive
+//!   lock/raw-write/claim/submit facts computed to a fixpoint.
+//! * [`semantic`] — the four workspace-wide passes: `lock-order`,
+//!   `claim-coverage`, `safety-comment`, `discarded-result`.
+//! * [`report`] — the canonical-JSON audit report
+//!   (`results/LINT_report.json`), byte-stable across runs.
+//!
+//! Run it with `cargo run -p vf-lint -- --deny --json`; see DESIGN.md §11
+//! for the rule catalog and policy. The dynamic complement to these static
+//! checks is `vf_tensor::pool`'s debug-build race sanitizer, which verifies
+//! at runtime that parallel chunks claim disjoint output regions.
 
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod diag;
 pub mod lexer;
+pub mod parse;
+pub mod report;
 pub mod rules;
+pub mod semantic;
 pub mod suppress;
+pub mod symbols;
 pub mod workspace;
 
 pub use baseline::{Baseline, BASELINE_FILE};

@@ -14,6 +14,7 @@ USAGE:
 
 OPTIONS:
     --deny             Exit nonzero if any violation is found (tier-1 mode)
+    --json             Write the audit report to <root>/results/LINT_report.json
     --write-baseline   Regenerate lint-baseline.toml; refuses any increase
     --root <PATH>      Workspace root (default: discovered from cwd)
     --list-rules       Print the rule catalog and exit
@@ -22,6 +23,7 @@ OPTIONS:
 
 fn main() -> ExitCode {
     let mut deny = false;
+    let mut json = false;
     let mut write_baseline = false;
     let mut list_rules = false;
     let mut root: Option<PathBuf> = None;
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => deny = true,
+            "--json" => json = true,
             "--write-baseline" => write_baseline = true,
             "--list-rules" => list_rules = true,
             "--root" => match args.next() {
@@ -97,6 +100,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if json {
+        let report_path = root.join("results").join("LINT_report.json");
+        let written = std::fs::create_dir_all(root.join("results"))
+            .and_then(|()| std::fs::write(&report_path, vf_lint::report::render(&outcome)));
+        match written {
+            Ok(()) => println!("vf-lint: wrote {}", report_path.display()),
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", report_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     let mut errors = 0usize;
     for d in &outcome.diagnostics {

@@ -30,6 +30,11 @@ pub const RULE_IDS: &[&str] = &[
     "panic-ratchet",
     "raw-fs",
     "bad-suppression",
+    // Semantic passes (workspace-wide; see crate::semantic).
+    "lock-order",
+    "claim-coverage",
+    "safety-comment",
+    "discarded-result",
 ];
 
 /// True when `rule` names a rule in the catalog.
@@ -89,13 +94,18 @@ pub struct FileReport {
 /// Runs every code rule over one source file. `path` must be
 /// workspace-relative with forward slashes (it drives the allowlists).
 pub fn check_source(path: &str, src: &str) -> FileReport {
-    let lexed = lexer::lex(src);
+    check_source_lexed(path, &lexer::lex(src))
+}
+
+/// [`check_source`] over an already-lexed file, so the audit can share
+/// one lex between the per-file rules and the semantic parser.
+pub fn check_source_lexed(path: &str, lexed: &LexedFile) -> FileReport {
     let (sups, mut diagnostics) = suppress::collect(path, &lexed.comments);
     let mut report = FileReport::default();
 
     check_identifier_rule(
         path,
-        &lexed,
+        lexed,
         &sups,
         &mut report,
         "hash-iteration",
@@ -106,7 +116,7 @@ pub fn check_source(path: &str, src: &str) -> FileReport {
     );
     check_identifier_rule(
         path,
-        &lexed,
+        lexed,
         &sups,
         &mut report,
         "ambient-time",
@@ -117,7 +127,7 @@ pub fn check_source(path: &str, src: &str) -> FileReport {
     );
     check_identifier_rule(
         path,
-        &lexed,
+        lexed,
         &sups,
         &mut report,
         "raw-fs",
@@ -126,9 +136,9 @@ pub fn check_source(path: &str, src: &str) -> FileReport {
         "touches the real filesystem; durable I/O must go through vf-store \
          (only crates/store, crates/bench, and the lint binary may use std::fs)",
     );
-    check_thread_spawn(path, &lexed, &sups, &mut report);
-    check_stray_print(path, &lexed, &sups, &mut report);
-    count_panic_sites(&lexed, &sups, &mut report);
+    check_thread_spawn(path, lexed, &sups, &mut report);
+    check_stray_print(path, lexed, &sups, &mut report);
+    count_panic_sites(lexed, &sups, &mut report);
 
     report.diagnostics.append(&mut diagnostics);
     report

@@ -1,0 +1,171 @@
+//! `discarded-result`: `let _ =` must not silently drop fallible
+//! store/comm/core calls.
+//!
+//! `let _ = expr;` defeats `#[must_use]` — it is the idiomatic way to
+//! *intentionally* ignore a value, which makes it exactly the place a
+//! storage or communication failure disappears without a trace. This
+//! pass resolves every call inside a discarded expression against the
+//! workspace symbol index; when any candidate is a `Result`-returning
+//! function defined in `crates/store`, `crates/comm`, or `crates/core`,
+//! the discard is an error in library code. Bench binaries are exempt
+//! (their reporting is best-effort by design), as is test code, and a
+//! genuinely best-effort discard carries a reasoned
+//! `vf-lint: allow(discarded-result)` waiver.
+
+use crate::diag::Diagnostic;
+use crate::parse::ParsedFile;
+use crate::symbols::SymbolIndex;
+
+use super::PassOutcome;
+
+/// Crates whose fallible APIs guard durable state, collective
+/// communication, and trajectory execution: exactly the errors that must
+/// never vanish into `let _ =`.
+const TARGET_PREFIXES: &[&str] = &["crates/store/", "crates/comm/", "crates/core/"];
+
+/// Paths whose discards are exempt (report plumbing is best-effort).
+const EXEMPT_PREFIXES: &[&str] = &["crates/bench/"];
+
+/// Runs the pass, appending findings to `out`.
+pub fn check(files: &[ParsedFile], index: &SymbolIndex, out: &mut PassOutcome) {
+    for pf in files {
+        if EXEMPT_PREFIXES.iter().any(|p| pf.path.starts_with(p)) {
+            continue;
+        }
+        for f in &pf.fns {
+            if f.is_test {
+                continue;
+            }
+            for d in &f.discards {
+                let Some((name, def_path, def_line)) = fallible_callee(files, index, d) else {
+                    continue;
+                };
+                if pf.is_suppressed("discarded-result", d.line) {
+                    out.waived += 1;
+                    continue;
+                }
+                out.diagnostics.push(Diagnostic::error(
+                    "discarded-result",
+                    &pf.path,
+                    d.line,
+                    format!(
+                        "`let _ =` discards a Result from `{name}` (defined at \
+                         {def_path}:{def_line}); handle or propagate the error, or waive \
+                         with a reasoned `vf-lint: allow(discarded-result)`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The first discarded callee that may be a `Result`-returning function
+/// from a target crate, with its definition site for the message.
+fn fallible_callee(
+    files: &[ParsedFile],
+    index: &SymbolIndex,
+    d: &crate::parse::Discard,
+) -> Option<(String, String, u32)> {
+    for (name, _method) in &d.callees {
+        // Both free and method calls resolve workspace-wide here: the
+        // question is whether *any* plausible target is fallible, and the
+        // target-crate + returns-Result filters already reject the std
+        // look-alikes the lock analysis has to dodge.
+        for &id in index.resolve_free(name) {
+            let file = index.file_of(id);
+            let path = &files[file].path;
+            if !TARGET_PREFIXES.iter().any(|p| path.starts_with(p)) {
+                continue;
+            }
+            let def = index.def(files, id);
+            if def.is_test || !def.returns_result {
+                continue;
+            }
+            return Some((name.clone(), path.clone(), def.line));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parse};
+
+    fn run(srcs: &[(&str, &str)]) -> PassOutcome {
+        let files: Vec<ParsedFile> = srcs
+            .iter()
+            .map(|(p, s)| parse::parse_file(p, &lexer::lex(s)))
+            .collect();
+        let index = SymbolIndex::build(&files);
+        let mut out = PassOutcome::default();
+        check(&files, &index, &mut out);
+        out
+    }
+
+    const STORE: (&str, &str) = (
+        "crates/store/src/store.rs",
+        "impl Store { pub fn save(&mut self, step: u64) -> Result<u32, StoreError> { body() } }",
+    );
+
+    #[test]
+    fn discarded_store_result_is_flagged() {
+        let out = run(&[
+            STORE,
+            (
+                "crates/core/src/engine.rs",
+                "fn f(st: &mut Store) { let _ = st.save(3); }",
+            ),
+        ]);
+        assert_eq!(out.diagnostics.len(), 1, "{:?}", out.diagnostics);
+        assert_eq!(out.diagnostics[0].rule, "discarded-result");
+        assert!(out.diagnostics[0].message.contains("save"));
+        assert!(out.diagnostics[0].message.contains("crates/store/src/store.rs"));
+    }
+
+    #[test]
+    fn infallible_and_foreign_calls_are_clean() {
+        let out = run(&[
+            (
+                "crates/device/src/clock.rs",
+                "pub fn join(&self) -> f64 { self.t }",
+            ),
+            (
+                "crates/core/src/engine.rs",
+                "fn f(h: Handle) { let _ = h.join(); let _ = (a, b); }",
+            ),
+        ]);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn bench_and_test_code_are_exempt() {
+        let out = run(&[
+            STORE,
+            (
+                "crates/bench/src/bin/b.rs",
+                "fn f(st: &mut Store) { let _ = st.save(3); }",
+            ),
+            (
+                "crates/core/src/engine.rs",
+                "#[cfg(test)]\nmod tests {\n  fn t(st: &mut Store) { let _ = st.save(3); }\n}\n",
+            ),
+        ]);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn reasoned_waiver_is_counted() {
+        let out = run(&[
+            STORE,
+            (
+                "crates/core/src/engine.rs",
+                "fn f(st: &mut Store) {\n\
+                 // vf-lint: allow(discarded-result) — a storage fault here is survivable\n\
+                 let _ = st.save(3);\n}\n",
+            ),
+        ]);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert_eq!(out.waived, 1);
+    }
+}

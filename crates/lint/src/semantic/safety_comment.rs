@@ -1,0 +1,172 @@
+//! `safety-comment`: every `unsafe` needs an adjacent justification.
+//!
+//! An `unsafe` block, function, or impl in non-test code must be
+//! justified by a `// SAFETY: …` comment (or a rustdoc `# Safety`
+//! section) on the same line or directly above it. The adjacency walk
+//! skips lines that legitimately sit between a justification and its
+//! `unsafe` keyword — attribute-only lines (`#[target_feature(…)]`),
+//! comment-only lines, and lines that themselves contain `unsafe`
+//! (consecutive unsafe statements may share one justification) — but a
+//! blank line or unrelated code breaks the association: a justification
+//! you have to hunt for is one nobody re-checks when the code changes.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::parse::{ParsedFile, UnsafeKind};
+
+use super::PassOutcome;
+
+/// Runs the pass, appending findings to `out`.
+pub fn check(files: &[ParsedFile], out: &mut PassOutcome) {
+    for pf in files {
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        for site in &pf.unsafe_sites {
+            if site.is_test || !seen.insert(site.line) {
+                continue;
+            }
+            if justified(pf, site.line) {
+                continue;
+            }
+            if pf.is_suppressed("safety-comment", site.line) {
+                out.waived += 1;
+                continue;
+            }
+            let what = match site.kind {
+                UnsafeKind::Block => "`unsafe` block",
+                UnsafeKind::Fn => "`unsafe fn`",
+                UnsafeKind::Impl => "`unsafe impl`/`unsafe trait`",
+            };
+            out.diagnostics.push(Diagnostic::error(
+                "safety-comment",
+                &pf.path,
+                site.line,
+                format!(
+                    "{what} has no adjacent `// SAFETY:` justification; state the invariant \
+                     that makes it sound directly above the `unsafe` keyword"
+                ),
+            ));
+        }
+    }
+}
+
+/// True when a SAFETY comment covers 1-based `line`: on the line itself,
+/// or above it across skippable (attribute/comment/unsafe-sharing) lines.
+fn justified(pf: &ParsedFile, line: u32) -> bool {
+    let idx = line as usize - 1;
+    if pf.lines.get(idx).is_some_and(|l| l.safety_comment) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let Some(info) = pf.lines.get(j) else { return false };
+        if info.safety_comment {
+            return true;
+        }
+        if info.has_token {
+            if info.skippable {
+                continue;
+            }
+            return false;
+        }
+        if info.has_comment {
+            continue;
+        }
+        return false; // blank line breaks adjacency
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parse};
+
+    fn run(src: &str) -> PassOutcome {
+        let files = vec![parse::parse_file("crates/a/src/lib.rs", &lexer::lex(src))];
+        let mut out = PassOutcome::default();
+        check(&files, &mut out);
+        out
+    }
+
+    #[test]
+    fn uncommented_unsafe_block_and_fn_are_flagged() {
+        let out = run("fn f(p: *mut u8) { unsafe { *p = 0; } }\n\
+                       unsafe fn g(p: *mut u8) { *p = 0; }\n");
+        assert_eq!(out.diagnostics.len(), 2, "{:?}", out.diagnostics);
+        assert!(out.diagnostics.iter().all(|d| d.rule == "safety-comment"));
+    }
+
+    #[test]
+    fn adjacent_safety_comment_satisfies_the_rule() {
+        let out = run(
+            "fn f(p: *mut u8) {\n\
+             // SAFETY: p is valid for writes; caller guarantees exclusivity\n\
+             unsafe { *p = 0; }\n\
+             }\n",
+        );
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn comment_above_attributes_still_counts() {
+        let out = run(
+            "// SAFETY: only called when AVX2 was detected at runtime\n\
+             #[target_feature(enable = \"avx2\")]\n\
+             unsafe fn k(p: *mut f32) { *p = 0.0; }\n",
+        );
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn consecutive_unsafe_lines_share_one_justification() {
+        let out = run(
+            "fn f(a: *mut u8, b: *mut u8, c: *mut u8) {\n\
+             // SAFETY: all three pointers come from the same live allocation\n\
+             let x = unsafe { *a };\n\
+             let y = unsafe { *b };\n\
+             let z = unsafe { *c };\n\
+             }\n",
+        );
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn blank_line_breaks_adjacency() {
+        let out = run(
+            "fn f(p: *mut u8) {\n\
+             // SAFETY: p is valid\n\
+             \n\
+             unsafe { *p = 0; }\n\
+             }\n",
+        );
+        assert_eq!(out.diagnostics.len(), 1, "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn doc_safety_section_counts_for_unsafe_fn() {
+        let out = run(
+            "/// Reads one byte.\n\
+             ///\n\
+             /// # Safety\n\
+             ///\n\
+             /// `p` must be valid for reads.\n\
+             pub unsafe fn read_one(p: *const u8) -> u8 { *p }\n",
+        );
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn test_code_is_exempt_and_suppression_waives() {
+        let out = run("#[cfg(test)]\nmod tests {\n  fn t(p: *mut u8) { unsafe { *p = 0; } }\n}\n");
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+
+        let out = run(
+            "// vf-lint: allow(safety-comment) — justified at the module level above\n\
+             unsafe fn g(p: *mut u8) { *p = 0; }\n",
+        );
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert_eq!(out.waived, 1);
+    }
+}

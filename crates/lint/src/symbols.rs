@@ -1,0 +1,143 @@
+//! The workspace-wide symbol index: bare function names → definitions.
+//!
+//! vf-lint resolves calls *by name*, not by type — it has no type
+//! information and wants none (DESIGN.md §16). That makes resolution an
+//! over-approximation with one dangerous failure mode: common method
+//! names (`take`, `write`, `join`, …) shadow `std` methods, and resolving
+//! `opt.take()` to some unrelated first-party `fn take` would invent call
+//! edges — and with them, phantom lock cycles. The policy here:
+//!
+//! * **Free/path calls** (`name(…)`, `path::name(…)`) resolve to every
+//!   workspace function with that bare name, across all files.
+//! * **Method calls** (`recv.name(…)`) resolve only to functions in the
+//!   *same file*, and not at all when the name is on the std-shadow deny
+//!   list below.
+
+use std::collections::BTreeMap;
+
+use crate::parse::{FnDef, ParsedFile};
+
+/// Method names so commonly defined by `std` types that resolving a
+/// method call through them by bare name would be mostly wrong.
+const METHOD_SHADOWED: &[&str] = &[
+    "take", "clone", "wait", "join", "lock", "read", "write", "len", "get", "push", "pop",
+    "insert", "remove", "next", "iter", "new", "default", "drop", "into", "from", "unwrap",
+    "expect", "send", "recv", "flush", "set", "clear", "contains", "extend", "fmt", "eq", "cmp",
+    "min", "max", "abs", "map", "ok", "err", "as_ref", "as_mut", "is_empty", "to_string",
+];
+
+/// A global function id: index into [`SymbolIndex::fns`].
+pub type FnId = usize;
+
+/// One indexed function definition.
+#[derive(Debug, Clone, Copy)]
+pub struct FnEntry {
+    /// Index of the defining file in the parsed-file slice.
+    pub file: usize,
+    /// Index of the definition within that file's `fns`.
+    pub idx: usize,
+}
+
+/// The workspace symbol index.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    /// Every function in the workspace, file-major order.
+    pub fns: Vec<FnEntry>,
+    by_name: BTreeMap<String, Vec<FnId>>,
+}
+
+impl SymbolIndex {
+    /// Builds the index over every parsed file, in slice order.
+    pub fn build(files: &[ParsedFile]) -> SymbolIndex {
+        let mut index = SymbolIndex::default();
+        for (file, pf) in files.iter().enumerate() {
+            for (idx, f) in pf.fns.iter().enumerate() {
+                let id = index.fns.len();
+                index.fns.push(FnEntry { file, idx });
+                index.by_name.entry(f.name.clone()).or_default().push(id);
+            }
+        }
+        index
+    }
+
+    /// The definition behind a global id.
+    pub fn def<'a>(&self, files: &'a [ParsedFile], id: FnId) -> &'a FnDef {
+        let e = self.fns[id];
+        &files[e.file].fns[e.idx]
+    }
+
+    /// The file index a global id was defined in.
+    pub fn file_of(&self, id: FnId) -> usize {
+        self.fns[id].file
+    }
+
+    /// Every workspace function with this bare name (free-call policy).
+    pub fn resolve_free(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Same-file candidates for a method call, or nothing when the name
+    /// shadows a common `std` method.
+    pub fn resolve_method(&self, name: &str, file: usize) -> Vec<FnId> {
+        if METHOD_SHADOWED.contains(&name) {
+            return Vec::new();
+        }
+        self.resolve_free(name)
+            .iter()
+            .copied()
+            .filter(|&id| self.file_of(id) == file)
+            .collect()
+    }
+
+    /// Candidates for a call site: free calls resolve workspace-wide,
+    /// method calls per [`Self::resolve_method`]. A bare `drop(x)` is the
+    /// std prelude function — first-party `fn drop` definitions are
+    /// `Drop` impls, never called by bare name — so it resolves to
+    /// nothing rather than to every destructor in the workspace.
+    pub fn resolve(&self, name: &str, method: bool, file: usize) -> Vec<FnId> {
+        if method {
+            self.resolve_method(name, file)
+        } else if name == "drop" {
+            Vec::new()
+        } else {
+            self.resolve_free(name).to_vec()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parse};
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<ParsedFile> {
+        srcs.iter()
+            .map(|(p, s)| parse::parse_file(p, &lexer::lex(s)))
+            .collect()
+    }
+
+    #[test]
+    fn free_calls_resolve_across_files_methods_within_one() {
+        let fs = files(&[
+            ("crates/a/src/lib.rs", "pub fn helper() {}"),
+            ("crates/b/src/lib.rs", "pub fn helper() {} pub fn local(&self) {}"),
+        ]);
+        let idx = SymbolIndex::build(&fs);
+        assert_eq!(idx.resolve_free("helper").len(), 2);
+        assert_eq!(idx.resolve_method("helper", 1).len(), 1);
+        assert_eq!(idx.file_of(idx.resolve_method("local", 1)[0]), 1);
+        assert!(idx.resolve_method("local", 0).is_empty());
+    }
+
+    #[test]
+    fn std_shadowed_method_names_never_resolve() {
+        let fs = files(&[(
+            "crates/a/src/lib.rs",
+            "pub fn take(&mut self) {} pub fn caller(&mut self) { self.take(); }",
+        )]);
+        let idx = SymbolIndex::build(&fs);
+        assert!(idx.resolve_method("take", 0).is_empty());
+        // …but a free call to the same name still resolves.
+        assert_eq!(idx.resolve("take", false, 0).len(), 1);
+    }
+}

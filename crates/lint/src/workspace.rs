@@ -14,8 +14,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::{Baseline, BASELINE_FILE};
+use crate::callgraph::CallGraph;
 use crate::diag::{Diagnostic, Severity};
-use crate::rules;
+use crate::parse::{self, ParsedFile};
+use crate::symbols::SymbolIndex;
+use crate::{lexer, rules, semantic};
 
 /// The result of auditing the whole workspace.
 #[derive(Debug, Default)]
@@ -137,21 +140,36 @@ pub fn manifest_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Runs every rule over the workspace at `root`, including the baseline
+/// Runs every rule over the workspace at `root`: the per-file rules,
+/// the workspace-wide semantic passes (lock-order, claim-coverage,
+/// safety-comment, discarded-result; DESIGN.md §16), and the baseline
 /// ratchet against `lint-baseline.toml`.
 pub fn audit(root: &Path) -> io::Result<Outcome> {
     let mut out = Outcome::default();
 
+    // Each file is lexed once; the token stream feeds both the per-file
+    // rules and the semantic parser.
+    let mut parsed: Vec<ParsedFile> = Vec::new();
     for path in source_files(root)? {
         let rel_path = rel(root, &path);
         let src = fs::read_to_string(&path)?;
-        let report = rules::check_source(&rel_path, &src);
+        let lexed = lexer::lex(&src);
+        let report = rules::check_source_lexed(&rel_path, &lexed);
         out.files_scanned += 1;
         out.waived += report.waived;
         out.counts.insert(rel_path.clone(), report.panic_sites.len());
         out.sites.insert(rel_path.clone(), report.panic_sites);
         out.diagnostics.extend(report.diagnostics);
+        parsed.push(parse::parse_file(&rel_path, &lexed));
     }
+
+    // Semantic passes run over the whole parsed workspace at once: call
+    // resolution and lock propagation need every file's symbols.
+    let index = SymbolIndex::build(&parsed);
+    let graph = CallGraph::build(&parsed, &index);
+    let sem = semantic::check_all(&parsed, &index, &graph);
+    out.waived += sem.waived;
+    out.diagnostics.extend(sem.diagnostics);
 
     for path in manifest_files(root)? {
         let rel_path = rel(root, &path);

@@ -1,0 +1,13 @@
+//! The closure registers its output region with the race sanitizer.
+pub fn scale(out: &mut [f32], k: f32) {
+    let p = out.as_mut_ptr();
+    let n = out.len();
+    let work = move |r: usize| {
+        claim_region(p, r..r + 1);
+        // SAFETY: the claim above asserts exclusive ownership of row r
+        unsafe {
+            *p.add(r) = k;
+        }
+    };
+    parallel_rows(n, work);
+}

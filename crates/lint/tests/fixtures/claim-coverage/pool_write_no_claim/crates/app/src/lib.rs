@@ -1,0 +1,12 @@
+//! A pool-submitted closure writes through a raw pointer with no claim.
+pub fn scale(out: &mut [f32], k: f32) {
+    let p = out.as_mut_ptr();
+    let n = out.len();
+    let work = move |r: usize| {
+        // SAFETY: rows are distributed one per chunk
+        unsafe {
+            *p.add(r) = k;
+        }
+    };
+    parallel_rows(n, work);
+}

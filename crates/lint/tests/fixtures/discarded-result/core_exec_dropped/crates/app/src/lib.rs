@@ -1,0 +1,4 @@
+//! Drops the executor's Result.
+pub fn run(plan: &str) {
+    let _ = execute(plan);
+}

@@ -1,0 +1,5 @@
+//! A fallible trajectory executor.
+pub fn execute(plan: &str) -> Result<(), String> {
+    let _unused = plan;
+    Ok(())
+}

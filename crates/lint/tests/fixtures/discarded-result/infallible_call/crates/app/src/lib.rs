@@ -1,0 +1,4 @@
+//! Discarding an infallible value is fine.
+pub fn peek(st: &Store) {
+    let _ = st.objects();
+}

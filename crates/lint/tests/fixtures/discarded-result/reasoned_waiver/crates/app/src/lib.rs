@@ -1,0 +1,5 @@
+//! A deliberately best-effort save, waived with a reason.
+pub fn tick(st: &mut Store) {
+    // vf-lint: allow(discarded-result) — warm-up save; the periodic save retries
+    let _ = st.save(7);
+}

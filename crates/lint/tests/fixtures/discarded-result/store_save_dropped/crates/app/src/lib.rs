@@ -1,0 +1,4 @@
+//! Drops a store save Result on the floor.
+pub fn tick(st: &mut Store) {
+    let _ = st.save(7);
+}

@@ -1,0 +1,17 @@
+//! Every path takes `a` before `b`: one global order, no cycle.
+use std::sync::Mutex;
+
+pub struct S {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn step(s: &S) {
+    let _a = s.a.lock();
+    let _b = s.b.lock();
+}
+
+pub fn tick(s: &S) {
+    let _a = s.a.lock();
+    let _b = s.b.lock();
+}

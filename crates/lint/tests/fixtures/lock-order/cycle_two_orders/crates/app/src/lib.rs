@@ -1,0 +1,17 @@
+//! Two functions acquire the same pair of mutexes in opposite orders.
+use std::sync::Mutex;
+
+pub struct S {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn ab(s: &S) {
+    let _a = s.a.lock();
+    let _b = s.b.lock();
+}
+
+pub fn ba(s: &S) {
+    let _b = s.b.lock();
+    let _a = s.a.lock();
+}

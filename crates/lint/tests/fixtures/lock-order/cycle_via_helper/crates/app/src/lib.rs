@@ -1,0 +1,25 @@
+//! The opposing acquisition only happens inside called helpers.
+use std::sync::Mutex;
+
+pub struct S {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn hold_a_then_b(s: &S) {
+    let _a = s.a.lock();
+    lock_b(s);
+}
+
+pub fn hold_b_then_a(s: &S) {
+    let _b = s.b.lock();
+    lock_a(s);
+}
+
+fn lock_a(s: &S) {
+    let _a = s.a.lock();
+}
+
+fn lock_b(s: &S) {
+    let _b = s.b.lock();
+}

@@ -1,0 +1,18 @@
+//! The first guard is dropped before the second lock: never held together.
+use std::sync::Mutex;
+
+pub struct S {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn a_then_b_released(s: &S) {
+    let ga = s.a.lock();
+    drop(ga);
+    let _b = s.b.lock();
+}
+
+pub fn b_then_a(s: &S) {
+    let _b = s.b.lock();
+    let _a = s.a.lock();
+}

@@ -1,0 +1,4 @@
+//! An unsafe block with no justification.
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

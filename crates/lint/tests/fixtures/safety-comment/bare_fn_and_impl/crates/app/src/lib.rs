@@ -1,0 +1,8 @@
+//! An unsafe fn and an unsafe impl, both unjustified.
+pub unsafe fn store(p: *mut u8) {
+    *p = 0;
+}
+
+pub struct W(pub *mut u8);
+
+unsafe impl Send for W {}

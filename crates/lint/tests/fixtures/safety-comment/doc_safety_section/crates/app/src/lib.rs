@@ -1,0 +1,10 @@
+//! A rustdoc Safety section is an accepted justification.
+
+/// Writes zero through `p`.
+///
+/// # Safety
+///
+/// `p` must be valid for writes and exclusively owned.
+pub unsafe fn zero(p: *mut u8) {
+    *p = 0;
+}

@@ -1,0 +1,5 @@
+//! A justified unsafe block.
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer valid for reads
+    unsafe { *p }
+}

@@ -113,6 +113,10 @@ const PARALLEL_MIN_FLOPS: usize = 64 * 64 * 64;
 // zero — bitwise equal to continuing the FMA chain.
 // ---------------------------------------------------------------------------
 
+// SAFETY: callers guarantee AVX-512F was detected at runtime, `apanel` and
+// `bpanel` are valid for `k` full tiles (zero-padded by the packers), and
+// `out` is valid for `mr × nr` writes at leading dimension `ldout` with
+// exclusive access to that tile (pool claims are per output region).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
 #[allow(clippy::too_many_arguments)] // microkernel ABI: flat scalars keep the hot call cheap
@@ -175,6 +179,9 @@ unsafe fn micro_avx512(
     }
 }
 
+// SAFETY: callers guarantee AVX2+FMA were detected at runtime, the panels
+// are valid for `k` full zero-padded tiles, and `out` is valid for
+// `mr × nr` exclusive writes at leading dimension `ldout`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 #[allow(clippy::too_many_arguments)] // microkernel ABI: flat scalars keep the hot call cheap
@@ -238,6 +245,9 @@ unsafe fn micro_avx2(
 }
 
 /// Portable fallback: the same packed walk with scalar [`f32::mul_add`].
+// SAFETY: `unsafe` only to share the microkernel ABI — callers uphold the
+// same panel-validity and exclusive `mr × nr` output-tile contract as the
+// SIMD variants; no target features are required here.
 #[allow(clippy::too_many_arguments)] // microkernel ABI: flat scalars keep the hot call cheap
 unsafe fn micro_scalar(
     apanel: *const f32,

@@ -46,6 +46,9 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// guarantee no two chunks touch the same element.
 pub(crate) struct SendPtr<T>(pub *mut T);
 
+// SAFETY: SendPtr is a plain address; the soundness obligation (no two
+// threads touch the same element) is the caller's disjointness contract
+// stated above, enforced in debug builds by the claim-set sanitizer.
 unsafe impl<T> Send for SendPtr<T> {}
 unsafe impl<T> Sync for SendPtr<T> {}
 
@@ -148,6 +151,9 @@ struct Job {
     claims: Arc<sanitizer::ClaimSet>,
 }
 
+// SAFETY: the only non-Send/Sync field is `func`, a borrow of a `Sync`
+// closure owned by the submitter, which blocks in `run_job` until
+// `done == total` — no worker can hold the pointer past that wait.
 unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 

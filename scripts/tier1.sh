@@ -13,8 +13,11 @@ cargo test -q
 echo "== tier 1: tensor tests (debug profile, pool-race sanitizer armed) =="
 cargo test -q -p vf-tensor
 
-echo "== tier 1: workspace invariants (vf-lint) =="
-cargo run -q -p vf-lint -- --deny
+echo "== tier 1: workspace invariants (vf-lint, semantic passes + JSON report) =="
+cargo run -q -p vf-lint -- --deny --json
+
+echo "== tier 1: lint fixtures (per-rule positive/negative conformance) =="
+cargo test -q -p vf-lint --test fixtures
 
 echo "== tier 1: clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -36,6 +39,9 @@ cargo run --release -q -p vf-bench --bin store_bench -- --smoke
 
 echo "== tier 1: recovery drill smoke (durable restores bit-exact, zero silent restores) =="
 cargo run --release -q -p vf-bench --bin recovery_drill -- --smoke
+
+echo "== tier 1: lint gate (semantic findings pinned at zero, analysis wall time recorded) =="
+cargo run --release -q -p vf-bench --bin lint_gate
 
 echo "== tier 1: bench gate (committed history vs committed baseline) =="
 cargo run --release -q -p vf-bench --bin bench_gate
