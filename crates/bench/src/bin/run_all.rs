@@ -42,6 +42,7 @@ const EXPERIMENTS: &[&str] = &[
     "trace_profile",
     "store_bench",
     "recovery_drill",
+    "monitor_bench",
     // Last: diff the fresh history records against the committed baseline.
     "bench_gate",
 ];

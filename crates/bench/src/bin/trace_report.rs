@@ -138,14 +138,17 @@ fn main() -> ExitCode {
     // event (the renderer is hand-rolled for byte stability, so check it
     // against a real parser before shipping the file).
     let trace = chrome::render_trace(&events);
-    let parsed: serde_json::Value = match serde_json::from_str(&trace) {
+    let parsed = match vf_obs::json::parse(&trace) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("FAIL: rendered trace is not valid JSON: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let n_parsed = parsed["traceEvents"].as_array().map_or(0, Vec::len);
+    let n_parsed = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .map_or(0, <[_]>::len);
     if n_parsed != events.len() {
         eprintln!(
             "FAIL: trace carries {n_parsed} events, recorder saw {}",

@@ -51,7 +51,7 @@ use vf_device::{
     Backoff, BackoffPolicy, DeviceId, FaultKind, FaultPlan, PlannedFault, SimClock, TwoLaneClock,
 };
 use vf_models::trainable::Architecture;
-use vf_obs::{Event, Metrics, Recorder};
+use vf_obs::{Event, Metrics, Monitor, Recorder};
 use vf_store::{CheckpointStore, StoreConfig};
 
 /// Stream tag for recovery-attempt draws inside the fault plan's seed
@@ -297,6 +297,28 @@ impl ChaosReport {
         m.set_gauge("chaos/backoff_total_s", self.backoff_total_s);
         m.set_gauge("chaos/mttr_s", self.mttr_s());
     }
+
+    /// Mirrors the report's cumulative counts into a registry with
+    /// [`Metrics::set_counter`] — safe to call every tick, unlike
+    /// [`ChaosReport::record_metrics`], whose `inc` calls would
+    /// double-count. Also publishes the two derived series the default
+    /// alert pack watches: `chaos/comm_retries` (timeouts + aborts) and
+    /// `chaos/comm_attempts` (steps + retries, the burn-rate denominator).
+    pub fn mirror_metrics(&self, m: &Metrics, steps_done: u64) {
+        let retries = (self.comm_timeouts + self.comm_aborts) as u64;
+        m.set_counter("chaos/steps", steps_done);
+        m.set_counter("chaos/comm_retries", retries);
+        m.set_counter("chaos/comm_attempts", steps_done + retries);
+        m.set_counter("chaos/crashes", self.crashes as u64);
+        m.set_counter("chaos/rack_device_failures", self.rack_device_failures as u64);
+        m.set_counter("chaos/preemptions", self.preemptions as u64);
+        m.set_counter("chaos/recoveries", self.recoveries as u64);
+        m.set_counter("chaos/rejoins", self.rejoins as u64);
+        m.set_counter("chaos/recovery_retries", self.recovery_retries as u64);
+        m.set_counter("chaos/checkpoint_fallbacks", self.checkpoint_fallbacks as u64);
+        m.set_counter("chaos/replayed_steps", self.replayed_steps);
+        m.set_gauge("chaos/backoff_total_s", self.backoff_total_s);
+    }
 }
 
 /// The result of a completed chaos run.
@@ -331,6 +353,7 @@ pub struct ChaosSupervisor {
     recovery_draws: u64,
     report: ChaosReport,
     obs: Recorder,
+    monitor: Option<Arc<Monitor>>,
 }
 
 impl ChaosSupervisor {
@@ -393,6 +416,7 @@ impl ChaosSupervisor {
             recovery_draws: 0,
             report,
             obs: Recorder::disabled(),
+            monitor: None,
             cfg,
         })
     }
@@ -408,6 +432,36 @@ impl ChaosSupervisor {
             s.set_recorder(obs.clone());
         }
         self.obs = obs;
+    }
+
+    /// Attaches a monitor. Every supervisor loop iteration then publishes
+    /// its live signals — the report's cumulative counts, the fleet
+    /// fraction, and the store's counters — into the monitor's registry
+    /// and ticks it at the current `SimClock` time, driving the sampler
+    /// and alert rules in step with the simulation. The trainer gets the
+    /// same handle, so `train/loss` flows through too.
+    pub fn set_monitor(&mut self, monitor: Arc<Monitor>) {
+        self.trainer.set_monitor(monitor.clone());
+        self.monitor = Some(monitor);
+    }
+
+    /// Publishes the current signals and ticks the monitor (no-op without
+    /// one). Called once per supervisor loop iteration, after the step —
+    /// all from the single control thread, with `SimClock` time, so the
+    /// resulting series and alerts are deterministic.
+    fn publish_monitor(&self) {
+        let Some(mon) = &self.monitor else { return };
+        let m = mon.metrics();
+        self.report.mirror_metrics(m, self.trainer.steps_done());
+        let active = self.trainer.mapping().num_devices();
+        m.set_gauge(
+            "chaos/fleet_frac",
+            active as f64 / self.desired_fleet.max(1) as f64,
+        );
+        if let Some(s) = self.store.as_ref() {
+            s.counters().record_metrics(m);
+        }
+        mon.tick(self.clock.now());
     }
 
     /// Runs the job to the configured step count, surviving the fault plan.
@@ -431,6 +485,7 @@ impl ChaosSupervisor {
             self.provision_replacements();
             self.execute_step()?;
             self.maybe_checkpoint()?;
+            self.publish_monitor();
         }
         self.report.steps = self.trainer.steps_done();
         self.report.sim_time_s = self.clock.now();
@@ -726,8 +781,12 @@ impl ChaosSupervisor {
         self.last_checkpoint = restored;
         // The rebuilt trainer starts with a disabled recorder; re-attach
         // ours so the replayed steps keep tracing, and restore the bucket
-        // plan the checkpoint does not carry.
+        // plan the checkpoint does not carry. The monitor hook is rebuilt
+        // the same way so loss keeps flowing through the fallback.
         self.trainer.set_recorder(self.obs.clone());
+        if let Some(mon) = &self.monitor {
+            self.trainer.set_monitor(mon.clone());
+        }
         self.trainer.set_bucket_bytes(self.cfg.bucket_bytes);
         self.group = ElasticGroup::new(fleet.iter().map(|d| WorkerId(d.0)));
         self.clock.advance(self.cfg.restore_s);

@@ -34,7 +34,7 @@ use vf_data::prefetch::Prefetcher;
 use vf_data::{Dataset, DistributionMode};
 use vf_device::DeviceId;
 use vf_models::trainable::{Architecture, EvalReport, StatefulState};
-use vf_obs::{Event, Recorder};
+use vf_obs::{Event, Monitor, Recorder};
 use vf_tensor::ops::clip_global_norm;
 use vf_tensor::optim::Optimizer;
 use vf_tensor::reduce;
@@ -176,6 +176,9 @@ pub struct Trainer {
     step: u64,
     ledger: Option<VisitLedger>,
     obs: Recorder,
+    /// Monitoring hook: when attached, each step publishes its loss, lr,
+    /// and step count into the monitor's registry.
+    monitor: Option<Arc<Monitor>>,
     /// Fixed gradient-bucket boundaries for pipelined reduction; a single
     /// bucket (the default) reproduces the one-sync-per-step schedule.
     bucket_plan: BucketPlan,
@@ -245,6 +248,7 @@ impl Trainer {
             step: 0,
             ledger,
             obs: Recorder::disabled(),
+            monitor: None,
             bucket_plan: BucketPlan::single(&sizes),
             prefetcher: None,
         })
@@ -308,6 +312,19 @@ impl Trainer {
     /// The attached trace recorder (disabled by default).
     pub fn recorder(&self) -> &Recorder {
         &self.obs
+    }
+
+    /// Attaches a monitor. Each completed step then publishes `train/loss`
+    /// (gauge, *verbatim* — a NaN loss must reach the non-finite-loss
+    /// alert rule, so it is not sanitized here), `train/lr` (gauge), and
+    /// `train/steps` (monotone counter mirror) into the monitor's
+    /// registry. Publishing happens on the coordinating thread after the
+    /// deterministic loss reduction, so the published values are
+    /// bit-identical across thread counts. The trainer never ticks the
+    /// monitor — sampling cadence belongs to the driver that owns the
+    /// simulated clock.
+    pub fn set_monitor(&mut self, monitor: Arc<Monitor>) {
+        self.monitor = Some(monitor);
     }
 
     /// The current model parameters.
@@ -411,6 +428,12 @@ impl Trainer {
         let buckets = pipelined.then(|| self.bucket_plan.num_buckets());
         self.trace_step(&report, &vn_losses, buckets);
         self.step += 1;
+        if let Some(mon) = &self.monitor {
+            let m = mon.metrics();
+            m.set_gauge("train/loss", f64::from(loss));
+            m.set_gauge("train/lr", f64::from(lr));
+            m.set_counter("train/steps", self.step);
+        }
         Ok(report)
     }
 

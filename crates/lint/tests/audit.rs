@@ -184,6 +184,10 @@ fn stray_print_exemption_stays_scoped_to_the_bench_crate() {
         "fn main() { println!(\"critical path: 12 spans\"); }\n",
     );
     fx.write(
+        "crates/bench/src/bin/monitor_bench.rs",
+        "fn main() { println!(\"== monitor bench ==\"); eprintln!(\"FAIL: recall\"); }\n",
+    );
+    fx.write(
         "crates/foo/src/bin/tool.rs",
         "fn main() { println!(\"not a bench harness\"); }\n",
     );

@@ -101,6 +101,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
 }
 
 /// A parse failure: what went wrong and the byte offset it went wrong at.

@@ -30,6 +30,10 @@
 //!   by the bench harnesses so `results/BENCH_*.json` and traces speak one
 //!   schema.
 //! * [`chrome`] — renders events to Chrome `trace_event` JSONL / JSON.
+//! * [`monitor`] — the *active* layer over the registry: deterministic
+//!   time-series sampling, an alerting rules engine with debounce and
+//!   hysteresis, per-component health rollups, and byte-stable Prometheus
+//!   / HTML-dashboard exporters.
 //!
 //! Determinism rules instrumented code must follow (audited by the trace
 //! determinism tests and documented in DESIGN.md §12):
@@ -51,6 +55,7 @@ mod event;
 pub mod history;
 pub mod json;
 mod metrics;
+pub mod monitor;
 pub mod profile;
 mod recorder;
 mod sink;
@@ -58,6 +63,7 @@ mod sink;
 pub use event::{ArgValue, Event, Phase};
 pub use history::{Baseline, BaselineMetric, Direction, GateOutcome, HistoryRecord};
 pub use metrics::{Histogram, Metric, Metrics};
+pub use monitor::{default_alert_pack, AlertRule, Monitor};
 pub use profile::Profile;
 pub use recorder::Recorder;
 pub use sink::{JsonlSink, NullSink, RingSink, Sink};

@@ -61,6 +61,46 @@ impl Histogram {
             self.sum / finite as f64
         }
     }
+
+    /// Number of finite observations (the ones that landed in buckets).
+    pub fn finite_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Upper-bound quantile estimate from the fixed buckets: the smallest
+    /// bucket bound such that at least `ceil(q * finite_count)` finite
+    /// observations are at or below it. This is the standard conservative
+    /// fixed-bucket estimator — exact when observations sit on bucket
+    /// bounds, an upper bound otherwise.
+    ///
+    /// Returns `None` when no finite observation was recorded. Mass that
+    /// landed in the overflow bucket has no upper bound, so a quantile
+    /// falling there reports `f64::INFINITY` (callers exporting finite
+    /// schemas must handle it; the monitor's series store keeps it and the
+    /// dashboard skips it). `q` is clamped to `[0, 1]`; `q = 0` reports the
+    /// first non-empty bucket's bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let finite = self.finite_count();
+        if finite == 0 {
+            return None;
+        }
+        let q = if q.is_finite() { q.clamp(0.0, 1.0) } else { 1.0 };
+        // Rank of the target observation, 1-based; q = 0 still needs one
+        // observation, so the rank floor is 1.
+        let rank = ((q * finite as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(match self.bounds.get(i) {
+                    Some(&b) => b,
+                    None => f64::INFINITY, // overflow bucket: unbounded
+                });
+            }
+        }
+        // Unreachable: cum == finite >= rank by construction.
+        None
+    }
 }
 
 /// One metric series.
@@ -72,6 +112,17 @@ pub enum Metric {
     Gauge(f64),
     /// A fixed-bucket distribution.
     Histogram(Histogram),
+}
+
+impl Metric {
+    /// The series kind as its canonical exposition name.
+    pub fn type_str(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
 }
 
 /// A thread-safe registry of named metrics.
@@ -124,6 +175,29 @@ impl Metrics {
         self.with(|map| {
             map.insert(name.to_string(), Metric::Gauge(value));
         });
+    }
+
+    /// Sets counter `name` to the absolute cumulative `value`, keeping the
+    /// counter monotone (a stale mirror never rewinds it). This is the
+    /// bridge for components that accumulate their own cumulative counts
+    /// (chaos reports, store counters) and republish them into a shared
+    /// registry each tick — the monitor's sampler then derives windowed
+    /// rates from the deltas. If `name` exists with a different type it is
+    /// replaced, matching [`Metrics::inc`] semantics.
+    pub fn set_counter(&self, name: &str, value: u64) {
+        self.with(|map| {
+            match map.get_mut(name) {
+                Some(Metric::Counter(c)) => *c = (*c).max(value),
+                _ => {
+                    map.insert(name.to_string(), Metric::Counter(value));
+                }
+            };
+        });
+    }
+
+    /// The current value of series `name`, if present.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.with(|map| map.get(name).cloned())
     }
 
     /// Declares histogram `name` with the given bucket `bounds` without
@@ -324,6 +398,99 @@ mod tests {
         m.set_gauge("g", 1.0);
         m.declare_histogram("g", &[1.0]);
         assert!(matches!(m.snapshot()["g"], Metric::Histogram(_)));
+    }
+
+    #[test]
+    fn set_counter_mirrors_monotonically() {
+        let m = Metrics::new();
+        m.set_counter("c", 5);
+        assert_eq!(m.get("c"), Some(Metric::Counter(5)));
+        m.set_counter("c", 9);
+        assert_eq!(m.get("c"), Some(Metric::Counter(9)));
+        // A stale mirror never rewinds the counter.
+        m.set_counter("c", 3);
+        assert_eq!(m.get("c"), Some(Metric::Counter(9)));
+        // Mixing with inc keeps working: inc adds on top of the mirror.
+        m.inc("c", 1);
+        assert_eq!(m.get("c"), Some(Metric::Counter(10)));
+        // Type conflicts resolve last-writer-wins like every other setter.
+        m.set_gauge("g", 1.0);
+        m.set_counter("g", 2);
+        assert_eq!(m.get("g"), Some(Metric::Counter(2)));
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.finite_count(), 0);
+        // Only non-finite observations recorded: still no finite mass.
+        let m = Metrics::new();
+        m.observe("h", &[1.0], f64::NAN);
+        let Metric::Histogram(h) = m.snapshot().remove("h").unwrap() else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.quantile(0.99), None);
+    }
+
+    #[test]
+    fn single_bucket_histogram_reports_its_bound_for_every_quantile() {
+        let m = Metrics::new();
+        m.observe("h", &[10.0], 3.0);
+        let Metric::Histogram(h) = m.snapshot().remove("h").unwrap() else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.quantile(0.0), Some(10.0));
+        assert_eq!(h.quantile(0.5), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn all_mass_in_overflow_bucket_reports_infinity() {
+        let m = Metrics::new();
+        let bounds = [1.0, 2.0];
+        for _ in 0..5 {
+            m.observe("h", &bounds, 100.0);
+        }
+        let Metric::Histogram(h) = m.snapshot().remove("h").unwrap() else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.counts, vec![0, 0, 5]);
+        // The overflow bucket has no upper bound: every quantile is
+        // honestly unbounded rather than clamped to the last bound.
+        assert_eq!(h.quantile(0.5), Some(f64::INFINITY));
+        assert_eq!(h.quantile(0.99), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn quantiles_on_ties_pick_the_conservative_bucket_bound() {
+        let m = Metrics::new();
+        let bounds = [1.0, 2.0, 4.0];
+        // 99 observations in the first bucket, 1 in the second: p99 rank is
+        // ceil(0.99 * 100) = 99, still inside the first bucket; p100 must
+        // step to the second.
+        for _ in 0..99 {
+            m.observe("h", &bounds, 0.5);
+        }
+        m.observe("h", &bounds, 1.5);
+        let Metric::Histogram(h) = m.snapshot().remove("h").unwrap() else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.quantile(0.99), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(2.0));
+        // All observations tied on one value: every quantile agrees.
+        let m2 = Metrics::new();
+        for _ in 0..10 {
+            m2.observe("t", &bounds, 2.0);
+        }
+        let Metric::Histogram(t) = m2.snapshot().remove("t").unwrap() else {
+            panic!("histogram expected");
+        };
+        assert_eq!(t.quantile(0.5), Some(2.0));
+        assert_eq!(t.quantile(0.99), Some(2.0));
+        // Non-finite q degrades to the top quantile instead of panicking.
+        assert_eq!(t.quantile(f64::NAN), Some(2.0));
     }
 
     #[test]

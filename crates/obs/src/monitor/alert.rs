@@ -1,0 +1,492 @@
+//! The alerting rules engine.
+//!
+//! Rules evaluate against a [`SeriesStore`] at each simulated-time tick.
+//! Each rule owns a tiny state machine — Idle → Pending → Firing → (back
+//! to) Idle — whose every transition is a pure function of
+//! `(rule, series store, sim-time)`: no wall clock, no randomness, no
+//! iteration-order dependence. Two runs that sample identical series
+//! therefore produce identical transition logs, which is what lets the
+//! monitor bench pin alert counts byte-for-byte across thread counts.
+//!
+//! Debouncing and hysteresis are both first-class: a rule's condition must
+//! hold for `for_s` simulated seconds before the alert fires (Pending
+//! absorbs blips), and a firing alert only resolves once the condition
+//! clears its *clear* threshold (so a value oscillating around the trip
+//! point does not flap).
+
+use super::series::SeriesStore;
+
+/// The component of the stack a rule watches, for health rollups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Component {
+    /// The training engine (loss, step health).
+    Trainer,
+    /// The collective-communication layer.
+    Comm,
+    /// The cluster scheduler simulation.
+    Sched,
+    /// The checkpoint store.
+    Store,
+    /// The chaos supervisor / fleet state.
+    Chaos,
+}
+
+impl Component {
+    /// All components, in canonical (rollup) order.
+    pub const ALL: [Component; 5] = [
+        Component::Trainer,
+        Component::Comm,
+        Component::Sched,
+        Component::Store,
+        Component::Chaos,
+    ];
+
+    /// Lower-case display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Component::Trainer => "trainer",
+            Component::Comm => "comm",
+            Component::Sched => "sched",
+            Component::Store => "store",
+            Component::Chaos => "chaos",
+        }
+    }
+}
+
+/// How loud a firing rule is, and how it maps into health rollups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Degraded-but-operating signal.
+    Warn,
+    /// Pages the operator; marks the component Unhealthy while firing.
+    Critical,
+}
+
+impl Severity {
+    /// Lower-case display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// The predicate a rule evaluates each tick.
+///
+/// Every variant that trips on a *threshold* carries a separate *clear*
+/// level for hysteresis: the condition stays "active" for an
+/// already-firing alert until the observable crosses the clear level, not
+/// merely back under the trip level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Latest value ≥ `trip` (resolve below `clear`). Non-finite samples
+    /// are ignored — [`Condition::NonFinite`] is the rule for those.
+    Above {
+        /// Trip threshold (inclusive).
+        trip: f64,
+        /// Clear threshold: a firing alert stays active while value ≥ this.
+        clear: f64,
+    },
+    /// Latest value ≤ `trip` (resolve above `clear`).
+    Below {
+        /// Trip threshold (inclusive).
+        trip: f64,
+        /// Clear threshold: a firing alert stays active while value ≤ this.
+        clear: f64,
+    },
+    /// Rate of change of a cumulative series over a trailing window is
+    /// strictly above `trip_per_s` (resolve at ≤ `clear_per_s`).
+    RateAbove {
+        /// Trip rate in events per simulated second (exclusive).
+        trip_per_s: f64,
+        /// Clear rate: a firing alert stays active while rate > this.
+        clear_per_s: f64,
+        /// Trailing window the rate is measured over, in seconds.
+        window_s: f64,
+    },
+    /// SLO burn rate: the error fraction `errors/total` over a trailing
+    /// window, divided by the SLO's error budget `1 - objective`, is
+    /// strictly above `trip` (resolve at ≤ `clear`). Burn rate 1.0 means
+    /// the budget is being consumed exactly as provisioned; a storm burns
+    /// at many multiples.
+    BurnRateAbove {
+        /// Cumulative series counting *total* attempts.
+        total_series: String,
+        /// Availability objective in (0, 1), e.g. 0.99.
+        objective: f64,
+        /// Trip burn-rate multiple (exclusive).
+        trip: f64,
+        /// Clear burn-rate multiple.
+        clear: f64,
+        /// Trailing window in seconds.
+        window_s: f64,
+    },
+    /// Latest sample is NaN or ±Inf. No hysteresis: the condition clears
+    /// the moment a finite sample arrives.
+    NonFinite,
+}
+
+/// A single alerting rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Unique rule name, e.g. `comm/retry-storm`.
+    pub name: String,
+    /// Component the rule rolls up into.
+    pub component: Component,
+    /// Series the condition reads (the *error* series for burn rates).
+    pub series: String,
+    /// The predicate.
+    pub condition: Condition,
+    /// Debounce: the condition must hold this many simulated seconds
+    /// before Pending promotes to Firing. Zero fires on the first tick.
+    pub for_s: f64,
+    /// How loud the rule is.
+    pub severity: Severity,
+}
+
+/// Where a rule's state machine currently sits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlertState {
+    /// Condition false.
+    Idle,
+    /// Condition true, but not yet for `for_s` seconds.
+    Pending {
+        /// Tick at which the condition first held.
+        since_us: u64,
+    },
+    /// Condition has held for at least `for_s` seconds.
+    Firing {
+        /// Tick at which the alert fired.
+        since_us: u64,
+    },
+}
+
+/// The observable edge a rule produced this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Idle → Pending.
+    Pending,
+    /// Pending (or Idle, when `for_s == 0`) → Firing.
+    Firing,
+    /// Firing → Idle.
+    Resolved,
+}
+
+impl Phase {
+    /// Lower-case display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Pending => "pending",
+            Phase::Firing => "firing",
+            Phase::Resolved => "resolved",
+        }
+    }
+}
+
+/// One state-machine edge: which rule, which phase, when, at what value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Rule name.
+    pub rule: String,
+    /// Component the rule belongs to.
+    pub component: Component,
+    /// Severity of the rule.
+    pub severity: Severity,
+    /// The edge taken.
+    pub phase: Phase,
+    /// Simulated time of the edge, microseconds.
+    pub at_us: u64,
+    /// The observable the condition evaluated (rate, value, or burn rate).
+    pub value: f64,
+}
+
+/// The rules engine: a fixed rule list plus one state per rule.
+#[derive(Debug, Clone)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    states: Vec<AlertState>,
+}
+
+impl AlertEngine {
+    /// An engine over `rules`, all states Idle.
+    pub fn new(rules: Vec<AlertRule>) -> Self {
+        let states = vec![AlertState::Idle; rules.len()];
+        AlertEngine { rules, states }
+    }
+
+    /// The rule list, in evaluation (definition) order.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Current state of every rule, paired with its definition.
+    pub fn states(&self) -> impl Iterator<Item = (&AlertRule, AlertState)> {
+        self.rules.iter().zip(self.states.iter().copied())
+    }
+
+    /// Number of rules currently Firing.
+    pub fn firing(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, AlertState::Firing { .. }))
+            .count()
+    }
+
+    /// Number of rules currently Pending.
+    pub fn pending(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, AlertState::Pending { .. }))
+            .count()
+    }
+
+    /// Evaluates every rule against `store` at tick `now_us`, advances the
+    /// state machines, and returns the edges taken this tick in rule
+    /// order. Pure in (rules, prior states, store, now_us).
+    pub fn evaluate(&mut self, now_us: u64, store: &SeriesStore) -> Vec<Transition> {
+        let mut out = Vec::new();
+        for (rule, state) in self.rules.iter().zip(self.states.iter_mut()) {
+            let firing_now = matches!(state, AlertState::Firing { .. });
+            let (active, value) = eval_condition(rule, firing_now, now_us, store);
+            let for_us = (rule.for_s * 1e6).round() as u64;
+            let emit = |phase: Phase| Transition {
+                rule: rule.name.clone(),
+                component: rule.component,
+                severity: rule.severity,
+                phase,
+                at_us: now_us,
+                value,
+            };
+            *state = match (*state, active) {
+                (AlertState::Idle, false) => AlertState::Idle,
+                (AlertState::Idle, true) => {
+                    if for_us == 0 {
+                        out.push(emit(Phase::Firing));
+                        AlertState::Firing { since_us: now_us }
+                    } else {
+                        out.push(emit(Phase::Pending));
+                        AlertState::Pending { since_us: now_us }
+                    }
+                }
+                // A blip shorter than for_s cancels quietly.
+                (AlertState::Pending { .. }, false) => AlertState::Idle,
+                (AlertState::Pending { since_us }, true) => {
+                    if now_us.saturating_sub(since_us) >= for_us {
+                        out.push(emit(Phase::Firing));
+                        AlertState::Firing { since_us: now_us }
+                    } else {
+                        AlertState::Pending { since_us }
+                    }
+                }
+                (AlertState::Firing { since_us }, true) => AlertState::Firing { since_us },
+                (AlertState::Firing { .. }, false) => {
+                    out.push(emit(Phase::Resolved));
+                    AlertState::Idle
+                }
+            };
+        }
+        out
+    }
+}
+
+/// Evaluates one rule's condition. Returns (active, observable): whether
+/// the condition holds — with the clear threshold substituted while the
+/// rule is firing — and the number it looked at, for diagnostics.
+/// A missing series is never active.
+fn eval_condition(
+    rule: &AlertRule,
+    firing: bool,
+    now_us: u64,
+    store: &SeriesStore,
+) -> (bool, f64) {
+    match &rule.condition {
+        Condition::Above { trip, clear } => match store.latest(&rule.series) {
+            Some((_, v)) if v.is_finite() => {
+                let level = if firing { *clear } else { *trip };
+                (v >= level, v)
+            }
+            _ => (false, f64::NAN),
+        },
+        Condition::Below { trip, clear } => match store.latest(&rule.series) {
+            Some((_, v)) if v.is_finite() => {
+                let level = if firing { *clear } else { *trip };
+                (v <= level, v)
+            }
+            _ => (false, f64::NAN),
+        },
+        Condition::RateAbove { trip_per_s, clear_per_s, window_s } => {
+            let window_us = (window_s * 1e6).round() as u64;
+            let rate = store.rate_over(&rule.series, now_us, window_us);
+            let level = if firing { *clear_per_s } else { *trip_per_s };
+            (rate > level, rate)
+        }
+        Condition::BurnRateAbove { total_series, objective, trip, clear, window_s } => {
+            let window_us = (window_s * 1e6).round() as u64;
+            let errors = store.delta_over(&rule.series, now_us, window_us);
+            let total = store.delta_over(total_series, now_us, window_us);
+            let budget = (1.0 - objective).max(f64::EPSILON);
+            let burn = if total > 0.0 { (errors / total) / budget } else { 0.0 };
+            let level = if firing { *clear } else { *trip };
+            (burn > level, burn)
+        }
+        Condition::NonFinite => match store.latest(&rule.series) {
+            Some((_, v)) => (!v.is_finite(), v),
+            None => (false, f64::NAN),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+
+    const S: u64 = 1_000_000;
+
+    fn above(for_s: f64) -> AlertEngine {
+        AlertEngine::new(vec![AlertRule {
+            name: "q".into(),
+            component: Component::Sched,
+            series: "depth".into(),
+            condition: Condition::Above { trip: 8.0, clear: 4.0 },
+            for_s,
+            severity: Severity::Warn,
+        }])
+    }
+
+    fn feed(store: &mut SeriesStore, m: &Metrics, t_s: u64, v: f64) {
+        m.set_gauge("depth", v);
+        store.sample(t_s * S, m);
+    }
+
+    #[test]
+    fn debounce_absorbs_blips_shorter_than_for_s() {
+        let m = Metrics::new();
+        let mut store = SeriesStore::new();
+        let mut eng = above(30.0);
+        feed(&mut store, &m, 0, 1.0);
+        assert!(eng.evaluate(0, &store).is_empty());
+        feed(&mut store, &m, 10, 9.0); // trips → Pending
+        let t = eng.evaluate(10 * S, &store);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].phase, Phase::Pending);
+        feed(&mut store, &m, 20, 2.0); // blip over before 30 s → silent cancel
+        assert!(eng.evaluate(20 * S, &store).is_empty());
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn sustained_condition_fires_then_hysteresis_holds_it() {
+        let m = Metrics::new();
+        let mut store = SeriesStore::new();
+        let mut eng = above(30.0);
+        feed(&mut store, &m, 0, 9.0);
+        assert_eq!(eng.evaluate(0, &store)[0].phase, Phase::Pending);
+        feed(&mut store, &m, 30, 9.0);
+        let t = eng.evaluate(30 * S, &store);
+        assert_eq!(t[0].phase, Phase::Firing);
+        assert_eq!(eng.firing(), 1);
+        // Dips to 5 — under the trip level but over clear=4 — stays firing.
+        feed(&mut store, &m, 40, 5.0);
+        assert!(eng.evaluate(40 * S, &store).is_empty());
+        assert_eq!(eng.firing(), 1);
+        // Crossing the clear level resolves.
+        feed(&mut store, &m, 50, 3.0);
+        let t = eng.evaluate(50 * S, &store);
+        assert_eq!(t[0].phase, Phase::Resolved);
+        assert_eq!(eng.firing(), 0);
+    }
+
+    #[test]
+    fn zero_for_s_fires_immediately_and_missing_series_never_fires() {
+        let m = Metrics::new();
+        let mut store = SeriesStore::new();
+        let mut eng = above(0.0);
+        assert!(eng.evaluate(0, &store).is_empty(), "missing series stays idle");
+        feed(&mut store, &m, 1, 9.0);
+        assert_eq!(eng.evaluate(S, &store)[0].phase, Phase::Firing);
+    }
+
+    #[test]
+    fn nonfinite_rule_trips_on_nan_and_clears_on_finite() {
+        let m = Metrics::new();
+        let mut store = SeriesStore::new();
+        let mut eng = AlertEngine::new(vec![AlertRule {
+            name: "loss".into(),
+            component: Component::Trainer,
+            series: "train/loss".into(),
+            condition: Condition::NonFinite,
+            for_s: 0.0,
+            severity: Severity::Critical,
+        }]);
+        m.set_gauge("train/loss", 0.7);
+        store.sample(0, &m);
+        assert!(eng.evaluate(0, &store).is_empty());
+        m.set_gauge("train/loss", f64::NAN);
+        store.sample(S, &m);
+        assert_eq!(eng.evaluate(S, &store)[0].phase, Phase::Firing);
+        m.set_gauge("train/loss", 0.5);
+        store.sample(2 * S, &m);
+        assert_eq!(eng.evaluate(2 * S, &store)[0].phase, Phase::Resolved);
+    }
+
+    #[test]
+    fn rate_rule_measures_the_trailing_window() {
+        let m = Metrics::new();
+        let mut store = SeriesStore::new();
+        let mut eng = AlertEngine::new(vec![AlertRule {
+            name: "storm".into(),
+            component: Component::Comm,
+            series: "retries".into(),
+            condition: Condition::RateAbove {
+                trip_per_s: 0.5,
+                clear_per_s: 0.1,
+                window_s: 10.0,
+            },
+            for_s: 0.0,
+            severity: Severity::Warn,
+        }]);
+        m.set_counter("retries", 0);
+        store.sample(0, &m);
+        assert!(eng.evaluate(0, &store).is_empty());
+        m.set_counter("retries", 10); // 10 in 10 s → 1/s > 0.5
+        store.sample(10 * S, &m);
+        assert_eq!(eng.evaluate(10 * S, &store)[0].phase, Phase::Firing);
+        // No new retries for a window → rate 0 ≤ clear → resolves.
+        store.sample(25 * S, &m);
+        assert_eq!(eng.evaluate(25 * S, &store)[0].phase, Phase::Resolved);
+    }
+
+    #[test]
+    fn burn_rate_compares_error_fraction_to_the_budget() {
+        let m = Metrics::new();
+        let mut store = SeriesStore::new();
+        let mut eng = AlertEngine::new(vec![AlertRule {
+            name: "slo".into(),
+            component: Component::Comm,
+            series: "errors".into(),
+            condition: Condition::BurnRateAbove {
+                total_series: "attempts".into(),
+                objective: 0.99,
+                trip: 5.0,
+                clear: 1.0,
+                window_s: 100.0,
+            },
+            for_s: 0.0,
+            severity: Severity::Critical,
+        }]);
+        m.set_counter("errors", 0);
+        m.set_counter("attempts", 100);
+        store.sample(0, &m);
+        assert!(eng.evaluate(0, &store).is_empty());
+        // Window deltas: 20 errors over 100 new attempts → 20% error
+        // fraction against a 1% budget → burn 20 > 5.
+        m.set_counter("errors", 20);
+        m.set_counter("attempts", 200);
+        store.sample(50 * S, &m);
+        let t = eng.evaluate(50 * S, &store);
+        assert_eq!(t[0].phase, Phase::Firing);
+        assert!((t[0].value - 20.0).abs() < 1e-6, "burn {}", t[0].value);
+    }
+}

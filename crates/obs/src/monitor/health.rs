@@ -1,0 +1,171 @@
+//! Health rollups: from alert states to per-component Healthy / Degraded
+//! / Unhealthy, plus the rendered text status board.
+//!
+//! The mapping is deliberately dumb and total: every component in
+//! [`Component::ALL`] always appears in the rollup (a component with no
+//! rules is Healthy, not absent), and the level is the worst implied by
+//! any of its rules — a firing Critical makes it Unhealthy, a firing Warn
+//! or a pending Critical makes it Degraded, anything else leaves it
+//! Healthy. Because the inputs are the deterministic alert states, the
+//! rollup and the rendered board are byte-stable too.
+
+use super::alert::{AlertEngine, AlertState, Component, Severity};
+
+/// Rolled-up health of one component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthLevel {
+    /// No rule for the component is pending or firing critically.
+    Healthy,
+    /// A Warn rule is firing, or a Critical rule is pending.
+    Degraded,
+    /// A Critical rule is firing.
+    Unhealthy,
+}
+
+impl HealthLevel {
+    /// Upper-case display name, fixed width for the status board.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthLevel::Healthy => "HEALTHY",
+            HealthLevel::Degraded => "DEGRADED",
+            HealthLevel::Unhealthy => "UNHEALTHY",
+        }
+    }
+}
+
+/// One row of the rollup: a component, its level, and the rules driving it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentHealth {
+    /// The component.
+    pub component: Component,
+    /// Worst level implied by the component's rules.
+    pub level: HealthLevel,
+    /// Names of the component's firing rules, in rule order.
+    pub firing: Vec<String>,
+    /// Names of the component's pending rules, in rule order.
+    pub pending: Vec<String>,
+}
+
+/// Rolls the engine's current states up into one row per component, in
+/// canonical [`Component::ALL`] order.
+pub fn rollup(engine: &AlertEngine) -> Vec<ComponentHealth> {
+    Component::ALL
+        .iter()
+        .map(|&component| {
+            let mut level = HealthLevel::Healthy;
+            let mut firing = Vec::new();
+            let mut pending = Vec::new();
+            for (rule, state) in engine.states() {
+                if rule.component != component {
+                    continue;
+                }
+                match state {
+                    AlertState::Firing { .. } => {
+                        firing.push(rule.name.clone());
+                        level = level.max(match rule.severity {
+                            Severity::Critical => HealthLevel::Unhealthy,
+                            Severity::Warn => HealthLevel::Degraded,
+                        });
+                    }
+                    AlertState::Pending { .. } => {
+                        pending.push(rule.name.clone());
+                        if rule.severity == Severity::Critical {
+                            level = level.max(HealthLevel::Degraded);
+                        }
+                    }
+                    AlertState::Idle => {}
+                }
+            }
+            ComponentHealth { component, level, firing, pending }
+        })
+        .collect()
+}
+
+/// Renders the text status board: one row per component plus a summary
+/// line. `t_s` is the simulated time the board describes.
+pub fn render_status_board(t_s: f64, rows: &[ComponentHealth], total_rules: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== vf status board @ {t_s:.1}s ==\n"));
+    out.push_str(&format!("{:<9} {:<10} alerts\n", "component", "health"));
+    let mut firing_total = 0;
+    let mut pending_total = 0;
+    for row in rows {
+        firing_total += row.firing.len();
+        pending_total += row.pending.len();
+        let mut notes = Vec::new();
+        if !row.firing.is_empty() {
+            notes.push(format!("firing: {}", row.firing.join(", ")));
+        }
+        if !row.pending.is_empty() {
+            notes.push(format!("pending: {}", row.pending.join(", ")));
+        }
+        let notes = if notes.is_empty() { "-".to_string() } else { notes.join("; ") };
+        out.push_str(&format!(
+            "{:<9} {:<10} {notes}\n",
+            row.component.name(),
+            row.level.name(),
+        ));
+    }
+    out.push_str(&format!(
+        "alerts: {firing_total} firing, {pending_total} pending, {total_rules} rules\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::alert::{AlertRule, Condition};
+    use crate::monitor::series::SeriesStore;
+    use crate::Metrics;
+
+    fn rule(name: &str, component: Component, severity: Severity, for_s: f64) -> AlertRule {
+        AlertRule {
+            name: name.into(),
+            component,
+            series: name.into(),
+            condition: Condition::Above { trip: 1.0, clear: 0.5 },
+            for_s,
+            severity,
+        }
+    }
+
+    #[test]
+    fn rollup_always_lists_all_components_and_takes_the_worst_level() {
+        let m = Metrics::new();
+        let mut store = SeriesStore::new();
+        let mut eng = AlertEngine::new(vec![
+            rule("comm/a", Component::Comm, Severity::Warn, 0.0),
+            rule("comm/b", Component::Comm, Severity::Critical, 0.0),
+            rule("store/c", Component::Store, Severity::Critical, 100.0),
+        ]);
+        m.set_gauge("comm/a", 2.0);
+        m.set_gauge("comm/b", 2.0);
+        m.set_gauge("store/c", 2.0);
+        store.sample(1_000_000, &m);
+        eng.evaluate(1_000_000, &store);
+
+        let rows = rollup(&eng);
+        assert_eq!(rows.len(), Component::ALL.len(), "every component present");
+        let comm = rows.iter().find(|r| r.component == Component::Comm).unwrap();
+        assert_eq!(comm.level, HealthLevel::Unhealthy, "critical firing wins");
+        assert_eq!(comm.firing, vec!["comm/a".to_string(), "comm/b".to_string()]);
+        let store_row = rows.iter().find(|r| r.component == Component::Store).unwrap();
+        assert_eq!(store_row.level, HealthLevel::Degraded, "pending critical degrades");
+        assert_eq!(store_row.pending, vec!["store/c".to_string()]);
+        let idle = rows.iter().find(|r| r.component == Component::Trainer).unwrap();
+        assert_eq!(idle.level, HealthLevel::Healthy);
+        assert!(idle.firing.is_empty() && idle.pending.is_empty());
+    }
+
+    #[test]
+    fn status_board_renders_rows_and_summary() {
+        let eng = AlertEngine::new(vec![rule("x", Component::Sched, Severity::Warn, 0.0)]);
+        let board = render_status_board(12.5, &rollup(&eng), eng.rules().len());
+        assert!(board.starts_with("== vf status board @ 12.5s ==\n"));
+        for c in Component::ALL {
+            assert!(board.contains(c.name()), "missing row for {}", c.name());
+        }
+        assert!(board.ends_with("alerts: 0 firing, 0 pending, 1 rules\n"));
+    }
+}

@@ -47,4 +47,7 @@ pub use job::{JobId, JobSpec, JobState};
 pub use metrics::{AllocationSample, TraceMetrics};
 pub use pool::{DevicePool, DeviceState};
 pub use scheduler::{ElasticWfs, Scheduler, StaticPriority, ThroughputOptimizer, WeightPolicy};
-pub use sim::{capacity_events_from_faults, run_trace, run_trace_traced, CapacityEvent, SimConfig, SimResult};
+pub use sim::{
+    capacity_events_from_faults, run_trace, run_trace_monitored, run_trace_traced, CapacityEvent,
+    SimConfig, SimResult,
+};

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vf_comm::LinkProfile;
 use vf_device::{DeviceId, DeviceProfile, DeviceType, FaultPlan};
-use vf_obs::{Event, Recorder};
+use vf_obs::{Event, Monitor, Recorder};
 
 /// Configuration of a cluster simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -169,6 +169,31 @@ pub fn run_trace_traced(
     scheduler: &mut dyn Scheduler,
     config: &SimConfig,
     obs: &Recorder,
+) -> SimResult {
+    run_trace_monitored(trace, scheduler, config, obs, None)
+}
+
+/// [`run_trace_traced`] with a live [`Monitor`] attached.
+///
+/// After every scheduling event the simulator publishes its cluster-state
+/// gauges into the monitor's registry — `sched/queue_depth`,
+/// `sched/running`, `sched/capacity`, `sched/gpus_busy`, the cumulative
+/// `sched/busy_gpu_ms` counter, and `sched/starvation` (1 exactly when
+/// jobs are queued and nothing runs, so an idle-but-empty cluster never
+/// reads as starved) — then ticks the monitor at the event's simulated
+/// time, driving the sampler and alert rules in event order. Single
+/// threaded and event-ordered, so the monitor's series and alert log are
+/// bit-identical across repeat runs and thread-count settings.
+///
+/// # Panics
+///
+/// Same conditions as [`run_trace`].
+pub fn run_trace_monitored(
+    trace: &[JobSpec],
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+    obs: &Recorder,
+    monitor: Option<&Monitor>,
 ) -> SimResult {
     let device = DeviceProfile::of(config.device_type);
     // Everything below stamps simulated seconds relative to this base, so
@@ -347,14 +372,27 @@ pub fn run_trace_traced(
             }
             job.allocation = new_alloc;
         }
+        let queued = active.values().filter(|j| j.allocation == 0).count();
+        let running = active.len() - queued;
         if obs.is_enabled() {
-            let queued = active.values().filter(|j| j.allocation == 0).count();
-            let running = active.len() - queued;
             obs.emit(Event::counter("sched/queue_depth", "sched", now_us, queued));
             obs.emit(Event::counter("sched/running", "sched", now_us, running));
             obs.emit(Event::counter("sched/capacity", "sched", now_us, capacity));
             obs.emit(Event::counter("sched/gpus_busy", "sched", now_us, total));
             obs.emit(Event::counter("sched/busy_gpu_s", "sched", now_us, busy_integral));
+        }
+        if let Some(mon) = monitor {
+            let m = mon.metrics();
+            m.set_gauge("sched/queue_depth", queued as f64);
+            m.set_gauge("sched/running", running as f64);
+            m.set_gauge("sched/capacity", capacity as f64);
+            m.set_gauge("sched/gpus_busy", f64::from(total));
+            m.set_counter("sched/busy_gpu_ms", (busy_integral * 1e3).round() as u64);
+            m.set_gauge(
+                "sched/starvation",
+                if queued > 0 && running == 0 { 1.0 } else { 0.0 },
+            );
+            mon.tick(now_us as f64 / 1e6);
         }
         timeline.push(AllocationSample {
             time_s: now,

@@ -115,6 +115,27 @@ pub struct StoreCounters {
     pub silent_restores: u64,
 }
 
+impl StoreCounters {
+    /// Mirrors the counters into a [`vf_obs::Metrics`] registry under
+    /// `store/*` names, using monotone counter mirrors
+    /// ([`vf_obs::Metrics::set_counter`]) so a driver may republish the
+    /// same cumulative counts every tick without double-counting — the
+    /// monitor's sampler derives windowed rates from the deltas.
+    pub fn record_metrics(&self, m: &vf_obs::Metrics) {
+        m.set_counter("store/saves", self.saves);
+        m.set_counter("store/save_failures", self.save_failures);
+        m.set_counter("store/restores", self.restores);
+        m.set_counter("store/restore_attempts", self.restore_attempts);
+        m.set_counter("store/fallback_restores", self.fallback_restores);
+        m.set_counter("store/corruptions_detected", self.corruptions_detected);
+        m.set_counter("store/quarantined", self.quarantined);
+        m.set_counter("store/temps_cleaned", self.temps_cleaned);
+        m.set_counter("store/uncommitted_cleaned", self.uncommitted_cleaned);
+        m.set_counter("store/gc_deleted", self.gc_deleted);
+        m.set_counter("store/silent_restores", self.silent_restores);
+    }
+}
+
 /// One valid checkpoint found by a scan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValidCheckpoint {
