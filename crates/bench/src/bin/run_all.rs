@@ -43,6 +43,7 @@ const EXPERIMENTS: &[&str] = &[
     "store_bench",
     "recovery_drill",
     "monitor_bench",
+    "obs_scale_bench",
     // Last: diff the fresh history records against the committed baseline.
     "bench_gate",
 ];

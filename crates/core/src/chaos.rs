@@ -318,6 +318,30 @@ impl ChaosReport {
         m.set_counter("chaos/checkpoint_fallbacks", self.checkpoint_fallbacks as u64);
         m.set_counter("chaos/replayed_steps", self.replayed_steps);
         m.set_gauge("chaos/backoff_total_s", self.backoff_total_s);
+        // The same fault counts as one dimensional family (kind → count):
+        // rollup views aggregate the fleet's fault mix without a metric
+        // name per kind.
+        m.set_counter_with("chaos/faults", &[("kind", "crash")], self.crashes as u64);
+        m.set_counter_with(
+            "chaos/faults",
+            &[("kind", "rack")],
+            self.rack_device_failures as u64,
+        );
+        m.set_counter_with(
+            "chaos/faults",
+            &[("kind", "preemption")],
+            self.preemptions as u64,
+        );
+        m.set_counter_with(
+            "chaos/faults",
+            &[("kind", "comm_timeout")],
+            self.comm_timeouts as u64,
+        );
+        m.set_counter_with(
+            "chaos/faults",
+            &[("kind", "comm_abort")],
+            self.comm_aborts as u64,
+        );
     }
 }
 
@@ -449,10 +473,15 @@ impl ChaosSupervisor {
     /// one). Called once per supervisor loop iteration, after the step —
     /// all from the single control thread, with `SimClock` time, so the
     /// resulting series and alerts are deterministic.
-    fn publish_monitor(&self) {
+    fn publish_monitor(&self, step_dt_s: f64) {
         let Some(mon) = &self.monitor else { return };
         let m = mon.metrics();
         self.report.mirror_metrics(m, self.trainer.steps_done());
+        // Step-time distribution as a bounded sketch: p50/p99 stay
+        // O(buckets) however long the run, where raw retention would not.
+        if step_dt_s.is_finite() && step_dt_s > 0.0 {
+            m.observe_sketch("chaos/step_time_s", step_dt_s);
+        }
         let active = self.trainer.mapping().num_devices();
         m.set_gauge(
             "chaos/fleet_frac",
@@ -485,7 +514,7 @@ impl ChaosSupervisor {
             self.provision_replacements();
             self.execute_step()?;
             self.maybe_checkpoint()?;
-            self.publish_monitor();
+            self.publish_monitor(self.clock.now() - now);
         }
         self.report.steps = self.trainer.steps_done();
         self.report.sim_time_s = self.clock.now();

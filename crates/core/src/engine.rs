@@ -433,6 +433,9 @@ impl Trainer {
             m.set_gauge("train/loss", f64::from(loss));
             m.set_gauge("train/lr", f64::from(lr));
             m.set_counter("train/steps", self.step);
+            // Loss distribution over the whole run as a bounded sketch:
+            // the gauge shows "now", the sketch's p50/p99 show the shape.
+            m.observe_sketch("train/loss_dist", f64::from(loss));
         }
         Ok(report)
     }

@@ -29,6 +29,7 @@ pub const RULE_IDS: &[&str] = &[
     "registry-dep",
     "panic-ratchet",
     "raw-fs",
+    "metric-cardinality",
     "bad-suppression",
     // Semantic passes (workspace-wide; see crate::semantic).
     "lock-order",
@@ -68,6 +69,33 @@ const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"]
 /// else, a bare `std::fs` call is un-simulated I/O that dodges the storage
 /// fault plan and the integrity checks.
 const RAW_FS_ALLOWED: &[&str] = &["crates/store/", "crates/bench/", "crates/lint/"];
+
+/// Paths where dynamically built metric names are tolerated: the bench
+/// binaries label ad-hoc experiment outputs, and the lint crate's own
+/// fixtures exercise the pattern. Library code must register metrics under
+/// static names and express per-entity dimensions through the labeled API
+/// (`counter_with` and friends), whose cardinality budget accounts for
+/// every series; a `format!`-built name is an unbounded registry leak.
+const METRIC_CARDINALITY_ALLOWED: &[&str] = &["crates/bench/", "crates/lint/"];
+
+/// Metric-registering methods whose first argument is a metric name. A
+/// `format!(...)` in that position defeats the cardinality budget, so the
+/// `metric-cardinality` rule bans it in library code. Bare `set` is
+/// deliberately absent: `HistoryRecord::set` and `SeriesStore::push`
+/// legitimately take derived series names.
+const METRIC_NAME_METHODS: &[&str] = &[
+    "inc",
+    "set_gauge",
+    "set_counter",
+    "observe",
+    "observe_sketch",
+    "declare_histogram",
+    "counter_with",
+    "set_counter_with",
+    "set_gauge_with",
+    "observe_with",
+    "observe_sketch_with",
+];
 
 /// Identifiers whose presence in non-test library code violates
 /// `hash-iteration`: these collections iterate in hash order, which is
@@ -138,6 +166,7 @@ pub fn check_source_lexed(path: &str, lexed: &LexedFile) -> FileReport {
     );
     check_thread_spawn(path, lexed, &sups, &mut report);
     check_stray_print(path, lexed, &sups, &mut report);
+    check_metric_cardinality(path, lexed, &sups, &mut report);
     count_panic_sites(lexed, &sups, &mut report);
 
     report.diagnostics.append(&mut diagnostics);
@@ -253,6 +282,58 @@ fn check_stray_print(
             format!(
                 "`{}!` in library code; route output through vf_obs sinks \
                  (prints belong only in crates/bench and crates/lint binaries)",
+                toks[i].text
+            ),
+        ));
+    }
+}
+
+/// Flags `.observe(format!(…))`-style calls: a metric-registering method
+/// whose name argument is built with `format!` creates one registry series
+/// per distinct interpolation, which no cardinality budget can see. The
+/// check matches `.<method>(` followed by an optional `&` and then
+/// `format !` — the name position only, so `format!` in later arguments
+/// (e.g. a label value) stays legal.
+fn check_metric_cardinality(
+    path: &str,
+    lexed: &LexedFile,
+    sups: &[Suppression],
+    report: &mut FileReport,
+) {
+    if allowed(path, METRIC_CARDINALITY_ALLOWED) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if !METRIC_NAME_METHODS.contains(&toks[i].text.as_str())
+            || i == 0
+            || toks[i - 1].text != "."
+            || toks.get(i + 1).map(|t| t.text.as_str()) != Some("(")
+            || lexed.is_test_line(toks[i].line)
+        {
+            continue;
+        }
+        let mut j = i + 2;
+        if toks.get(j).map(|t| t.text.as_str()) == Some("&") {
+            j += 1;
+        }
+        if toks.get(j).map(|t| t.text.as_str()) != Some("format")
+            || toks.get(j + 1).map(|t| t.text.as_str()) != Some("!")
+        {
+            continue;
+        }
+        if suppress::is_suppressed(sups, "metric-cardinality", toks[i].line) {
+            report.waived += 1;
+            continue;
+        }
+        report.diagnostics.push(Diagnostic::error(
+            "metric-cardinality",
+            path,
+            toks[i].line,
+            format!(
+                "`{}` called with a `format!`-built metric name; register a \
+                 static name and move the dynamic part into a label via the \
+                 labeled API so the cardinality budget accounts for it",
                 toks[i].text
             ),
         ));
@@ -440,6 +521,53 @@ mod tests {
         // A function *named* println (no `!`) is not the macro.
         let r = check_source("crates/core/src/x.rs", "fn println_like() { println_like_call(); }\n");
         assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn format_metric_name_is_flagged_in_library_code() {
+        let r = check_source(
+            "crates/core/src/engine.rs",
+            "fn f(m: &M, j: u32) { m.inc(format!(\"job{j}/steps\"), 1); }\n",
+        );
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "metric-cardinality");
+        // `&format!` through the labeled API is the same leak.
+        let r = check_source(
+            "crates/sched/src/sim.rs",
+            "fn f(m: &M, t: &str) { m.counter_with(&format!(\"t/{t}\"), &[], 1); }\n",
+        );
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "metric-cardinality");
+    }
+
+    #[test]
+    fn format_outside_the_name_position_is_fine() {
+        // Static name, format! in a label value: legal.
+        let r = check_source(
+            "crates/core/src/engine.rs",
+            "fn f(m: &M, j: u32) { m.counter_with(\"s/done\", &[(\"job\", &format!(\"j{j}\"))], 1); }\n",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        // Non-metric methods may take derived series keys.
+        let r = check_source(
+            "crates/obs/src/history.rs",
+            "fn f(r: &mut R, j: u32) { r.set(format!(\"job{j}/loss\"), 1.0); }\n",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        // Bench code labels ad-hoc experiment outputs; tests probe freely.
+        let src = "fn f(m: &M, j: u32) { m.observe(format!(\"j{j}\"), 1.0); }\n";
+        assert!(check_source("crates/bench/src/bin/b.rs", src).diagnostics.is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t(m: &M) { m.observe(format!(\"p{}\", 1), 1.0); }\n}\n";
+        assert!(check_source("crates/core/src/x.rs", test_src).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn suppressed_metric_name_is_waived() {
+        let src = "// vf-lint: allow(metric-cardinality) — bounded by construction\n\
+                   fn f(m: &M) { m.observe(format!(\"p{}\", 1), 1.0); }\n";
+        let r = check_source("crates/core/src/x.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.waived, 1);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! Negative: methods outside the metric-registering set may take derived
+//! names — `HistoryRecord::set` and `SeriesStore::push` legitimately fan a
+//! snapshot out into per-series keys — and a suppressed call is waived.
+
+pub struct Record;
+
+impl Record {
+    pub fn set(&mut self, _key: String, _v: f64) {}
+    pub fn push(&mut self, _key: &str, _v: f64) {}
+}
+
+pub struct Metrics;
+
+impl Metrics {
+    pub fn observe(&self, _name: String, _v: f64) {}
+}
+
+pub fn export(r: &mut Record, job: u32, v: f64) {
+    r.set(format!("job{job}/loss"), v);
+    r.push(&format!("job{job}/lr"), v);
+}
+
+pub fn audited_escape_hatch(m: &Metrics, probe: u32) {
+    // vf-lint: allow(metric-cardinality) — one-off probe series, bounded by construction
+    m.observe(format!("probe{probe}/v"), 1.0);
+}

@@ -1,0 +1,18 @@
+//! Positive: a `&format!(…)` name smuggled into the *labeled* API is still
+//! an unbounded family namespace — the budget bounds series per family,
+//! not the number of families.
+
+pub struct Metrics;
+
+impl Metrics {
+    pub fn counter_with(&self, _name: &str, _labels: &[(&str, &str)], _by: u64) {}
+    pub fn observe_sketch_with(&self, _name: &str, _labels: &[(&str, &str)], _v: f64) {}
+}
+
+pub fn per_tenant(m: &Metrics, tenant: &str) {
+    m.counter_with(&format!("tenant/{tenant}/done"), &[("job", "j0")], 1);
+}
+
+pub fn per_rack(m: &Metrics, rack: u32, lat: f64) {
+    m.observe_sketch_with(&format!("rack{rack}/lat_s"), &[("dev", "d0")], lat);
+}

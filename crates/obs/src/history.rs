@@ -57,7 +57,11 @@ impl HistoryRecord {
 
     /// Builds a record from a [`crate::Metrics`] snapshot: counters widen
     /// to `f64`, finite gauges copy over, histograms contribute
-    /// `<name>/mean` and `<name>/count`.
+    /// `<name>/mean` and `<name>/count`, sketches contribute `<name>/p50`,
+    /// `<name>/p99`, and `<name>/count`, and labeled families contribute
+    /// their bounded-registry accounting (`<name>/series_count`,
+    /// `<name>/overflow_samples`, `<name>/counted_drops`,
+    /// `<name>/total_samples`).
     pub fn from_metrics(bench: &str, metrics: &crate::Metrics) -> Self {
         let mut rec = HistoryRecord::new(bench);
         for (name, metric) in metrics.snapshot() {
@@ -68,7 +72,26 @@ impl HistoryRecord {
                     rec.set(&format!("{name}/mean"), h.mean());
                     rec.set(&format!("{name}/count"), h.total as f64);
                 }
+                crate::Metric::Sketch(s) => {
+                    if let Some(p50) = s.quantile(0.50) {
+                        rec.set(&format!("{name}/p50"), p50);
+                    }
+                    if let Some(p99) = s.quantile(0.99) {
+                        rec.set(&format!("{name}/p99"), p99);
+                    }
+                    rec.set(&format!("{name}/count"), s.total() as f64);
+                }
             }
+        }
+        for family in metrics.labeled_snapshot() {
+            let name = &family.name;
+            rec.set(&format!("{name}/series_count"), family.series.len() as f64);
+            rec.set(
+                &format!("{name}/overflow_samples"),
+                family.overflow_samples as f64,
+            );
+            rec.set(&format!("{name}/counted_drops"), family.counted_drops as f64);
+            rec.set(&format!("{name}/total_samples"), family.total_samples as f64);
         }
         rec
     }

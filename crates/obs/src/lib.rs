@@ -34,6 +34,11 @@
 //!   time-series sampling, an alerting rules engine with debounce and
 //!   hysteresis, per-component health rollups, and byte-stable Prometheus
 //!   / HTML-dashboard exporters.
+//! * [`scale`] — the dimensional layer for 100k-job runs: labeled metric
+//!   families over interned label sets with hard cardinality budgets and
+//!   counted `__overflow__` folding (zero silent drops), deterministic
+//!   merge-associative quantile sketches, and the pure head-based
+//!   trace-sampling decision.
 //!
 //! Determinism rules instrumented code must follow (audited by the trace
 //! determinism tests and documented in DESIGN.md §12):
@@ -58,11 +63,13 @@ mod metrics;
 pub mod monitor;
 pub mod profile;
 mod recorder;
+pub mod scale;
 mod sink;
 
 pub use event::{ArgValue, Event, Phase};
 pub use history::{Baseline, BaselineMetric, Direction, GateOutcome, HistoryRecord};
-pub use metrics::{Histogram, Metric, Metrics};
+pub use metrics::{Histogram, Metric, Metrics, RegistryStats, BYTES_BOUNDS, LATENCY_BOUNDS_S};
+pub use scale::{FamilyKind, FamilySnapshot, FamilyValue, Sketch, DEFAULT_CARDINALITY_BUDGET};
 pub use monitor::{default_alert_pack, AlertRule, Monitor};
 pub use profile::Profile;
 pub use recorder::Recorder;

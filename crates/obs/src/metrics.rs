@@ -8,11 +8,32 @@
 //! `results/BENCH_*.json` files and traces share one schema.
 
 use crate::json::{escape_into, push_f64};
+use crate::scale::{FamilyKind, FamilySnapshot, FamilyValue, LabeledStore, Sketch};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, PoisonError};
 
+/// Default histogram comb for latencies in seconds: sub-millisecond
+/// through multi-minute, the span of step times, JCTs, and recovery
+/// drills across the workspace.
+pub const LATENCY_BOUNDS_S: &[f64] = &[
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+];
+
+/// Default histogram comb for byte sizes: 1 KiB through 1 GiB in roughly
+/// 16x steps, the span of gradient buckets and checkpoint shards.
+pub const BYTES_BOUNDS: &[f64] = &[
+    1024.0,
+    65_536.0,
+    1_048_576.0,
+    16_777_216.0,
+    268_435_456.0,
+    1_073_741_824.0,
+];
+
 /// A fixed-bucket histogram: `counts[i]` holds observations `<= bounds[i]`,
-/// with one overflow bucket at the end.
+/// with one overflow bucket at the end. Bucket edges are chosen per metric
+/// (latency and byte scales need different combs — see
+/// [`LATENCY_BOUNDS_S`] and [`BYTES_BOUNDS`]) and fixed at first touch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     /// Upper bucket bounds, strictly increasing.
@@ -26,6 +47,12 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// An empty histogram over the given bucket `bounds` (strictly
+    /// increasing upper edges; one overflow bucket is appended).
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        Histogram::new(bounds)
+    }
+
     fn new(bounds: &[f64]) -> Self {
         Histogram {
             bounds: bounds.to_vec(),
@@ -112,6 +139,9 @@ pub enum Metric {
     Gauge(f64),
     /// A fixed-bucket distribution.
     Histogram(Histogram),
+    /// A deterministic relative-error quantile sketch
+    /// ([`crate::scale::Sketch`]): bounded state for unbounded streams.
+    Sketch(Sketch),
 }
 
 impl Metric {
@@ -121,6 +151,7 @@ impl Metric {
             Metric::Counter(_) => "counter",
             Metric::Gauge(_) => "gauge",
             Metric::Histogram(_) => "histogram",
+            Metric::Sketch(_) => "sketch",
         }
     }
 }
@@ -141,6 +172,21 @@ impl Metric {
 #[derive(Debug, Default)]
 pub struct Metrics {
     series: Mutex<BTreeMap<String, Metric>>,
+    labeled: Mutex<LabeledStore>,
+}
+
+/// Point-in-time size accounting of a registry — the obs layer metering
+/// its own footprint (DESIGN.md §18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Flat (unlabeled) series.
+    pub flat_series: usize,
+    /// Labeled metric families.
+    pub families: usize,
+    /// Concrete labeled series across all families (excluding overflow).
+    pub labeled_series: usize,
+    /// Distinct interned label strings.
+    pub interned_strings: usize,
 }
 
 impl Metrics {
@@ -152,6 +198,11 @@ impl Metrics {
     fn with<R>(&self, f: impl FnOnce(&mut BTreeMap<String, Metric>) -> R) -> R {
         let mut map = self.series.lock().unwrap_or_else(PoisonError::into_inner);
         f(&mut map)
+    }
+
+    fn with_labeled<R>(&self, f: impl FnOnce(&mut LabeledStore) -> R) -> R {
+        let mut store = self.labeled.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut store)
     }
 
     /// Adds `delta` to counter `name` (created at zero), saturating at
@@ -235,60 +286,234 @@ impl Metrics {
         });
     }
 
+    /// Observes `value` into the deterministic quantile sketch `name`
+    /// (created on first touch). Sketches hold bounded state for unbounded
+    /// streams — the right shape for JCT / step-time distributions on
+    /// 100k-job runs where raw-sample retention would grow without bound.
+    pub fn observe_sketch(&self, name: &str, value: f64) {
+        self.with(|map| {
+            let metric = map
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Sketch(Sketch::new()));
+            match metric {
+                Metric::Sketch(s) => s.observe(value),
+                other => {
+                    let mut s = Sketch::new();
+                    s.observe(value);
+                    *other = Metric::Sketch(s);
+                }
+            }
+        });
+    }
+
+    /// Adds `delta` to the labeled counter `name{labels}`. Per-entity
+    /// dimensions (job ids, tenants, device classes) go here instead of
+    /// into metric names: the family enforces a hard cardinality budget
+    /// and folds over-budget label sets into a counted `__overflow__`
+    /// series, so registry size is bounded and no sample is silently lost.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        self.with_labeled(|store| {
+            store.route(name, FamilyKind::Counter, labels, |v| {
+                if let FamilyValue::Counter(c) = v {
+                    *c = c.saturating_add(delta);
+                }
+            });
+        });
+    }
+
+    /// Sets the labeled counter `name{labels}` to the absolute cumulative
+    /// `value`, keeping it monotone — the labeled twin of
+    /// [`Metrics::set_counter`].
+    pub fn set_counter_with(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.with_labeled(|store| {
+            store.route(name, FamilyKind::Counter, labels, |v| {
+                if let FamilyValue::Counter(c) = v {
+                    *c = (*c).max(value);
+                }
+            });
+        });
+    }
+
+    /// Sets the labeled gauge `name{labels}` to `value` (last value wins
+    /// per label set; the fleet rollup aggregates by sum).
+    pub fn set_gauge_with(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.with_labeled(|store| {
+            store.route(name, FamilyKind::Gauge, labels, |v| {
+                if let FamilyValue::Gauge(g) = v {
+                    *g = value;
+                }
+            });
+        });
+    }
+
+    /// Observes `value` into the labeled sketch `name{labels}` — per-label
+    /// quantile distributions (JCT by tenant, step time by device class)
+    /// under the family's cardinality budget.
+    pub fn observe_sketch_with(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.with_labeled(|store| {
+            store.route(name, FamilyKind::Sketch, labels, |v| {
+                if let FamilyValue::Sketch(s) = v {
+                    s.observe(value);
+                }
+            });
+        });
+    }
+
+    /// Sets the cardinality budget of labeled family `name` (default
+    /// [`crate::scale::DEFAULT_CARDINALITY_BUDGET`]). Shrinking below the
+    /// current series count keeps recorded series; only *new* label sets
+    /// fold into overflow.
+    pub fn set_cardinality_budget(&self, name: &str, budget: usize) {
+        self.with_labeled(|store| store.set_budget(name, budget));
+    }
+
+    /// Resolved snapshots of every labeled family, canonically ordered.
+    pub fn labeled_snapshot(&self) -> Vec<FamilySnapshot> {
+        self.with_labeled(|store| store.snapshot())
+    }
+
+    /// Samples unaccounted for across all labeled families — the "zero
+    /// silent drops" invariant. Anything non-zero is a registry bug; the
+    /// bench gate pins it at zero.
+    pub fn silent_drops(&self) -> u64 {
+        self.labeled_snapshot()
+            .iter()
+            .map(FamilySnapshot::unaccounted)
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// The registry's own size accounting (obs self-overhead metering).
+    pub fn registry_stats(&self) -> RegistryStats {
+        let flat_series = self.with(|map| map.len());
+        self.with_labeled(|store| RegistryStats {
+            flat_series,
+            families: store.family_count(),
+            labeled_series: store.series_count(),
+            interned_strings: store.interned_strings(),
+        })
+    }
+
     /// A point-in-time copy of every series, in name order.
     pub fn snapshot(&self) -> BTreeMap<String, Metric> {
         self.with(|map| map.clone())
     }
 
     /// Renders the registry as a canonical JSON object:
-    /// `{"name": {"type": "...", ...}, ...}` in name order. Non-finite
-    /// gauge values render as `null`.
+    /// `{"name": {"type": "...", ...}, ...}` — flat series and labeled
+    /// families merged in name order. Non-finite gauge values render as
+    /// `null`.
     pub fn to_json(&self) -> String {
         let snap = self.snapshot();
+        let mut entries: BTreeMap<String, String> = BTreeMap::new();
+        for (name, metric) in &snap {
+            let mut out = String::new();
+            render_metric_json(metric, &mut out);
+            entries.insert(name.clone(), out);
+        }
+        for family in self.labeled_snapshot() {
+            let mut out = String::from("{\"type\":\"family\",\"kind\":\"");
+            out.push_str(family.kind.type_str());
+            out.push_str("\",\"keys\":[");
+            for (i, k) in family.keys.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_into(k, &mut out);
+                out.push('"');
+            }
+            out.push_str("],\"budget\":");
+            out.push_str(&family.budget.to_string());
+            out.push_str(",\"series\":[");
+            for (i, (values, v)) in family.series.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"labels\":[");
+                for (j, val) in values.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(val, &mut out);
+                    out.push('"');
+                }
+                out.push_str("],\"value\":");
+                render_family_value_json(v, &mut out);
+                out.push('}');
+            }
+            out.push_str("],\"overflow\":");
+            match &family.overflow {
+                Some(v) => render_family_value_json(v, &mut out),
+                None => out.push_str("null"),
+            }
+            out.push_str(&format!(
+                ",\"overflow_samples\":{},\"counted_drops\":{},\"total_samples\":{}}}",
+                family.overflow_samples, family.counted_drops, family.total_samples
+            ));
+            entries.entry(family.name.clone()).or_insert(out);
+        }
         let mut out = String::from("{");
-        for (i, (name, metric)) in snap.iter().enumerate() {
+        for (i, (name, rendered)) in entries.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push('"');
             escape_into(name, &mut out);
             out.push_str("\":");
-            match metric {
-                Metric::Counter(c) => {
-                    out.push_str("{\"type\":\"counter\",\"value\":");
-                    out.push_str(&c.to_string());
-                    out.push('}');
-                }
-                Metric::Gauge(g) => {
-                    out.push_str("{\"type\":\"gauge\",\"value\":");
-                    push_f64(*g, &mut out);
-                    out.push('}');
-                }
-                Metric::Histogram(h) => {
-                    out.push_str("{\"type\":\"histogram\",\"bounds\":[");
-                    for (j, b) in h.bounds.iter().enumerate() {
-                        if j > 0 {
-                            out.push(',');
-                        }
-                        push_f64(*b, &mut out);
-                    }
-                    out.push_str("],\"counts\":[");
-                    for (j, c) in h.counts.iter().enumerate() {
-                        if j > 0 {
-                            out.push(',');
-                        }
-                        out.push_str(&c.to_string());
-                    }
-                    out.push_str("],\"sum\":");
-                    push_f64(h.sum, &mut out);
-                    out.push_str(",\"total\":");
-                    out.push_str(&h.total.to_string());
-                    out.push('}');
-                }
-            }
+            out.push_str(rendered);
         }
         out.push('}');
         out
+    }
+}
+
+/// Renders one flat metric's JSON value (the part after `"name":`).
+fn render_metric_json(metric: &Metric, out: &mut String) {
+    match metric {
+        Metric::Counter(c) => {
+            out.push_str("{\"type\":\"counter\",\"value\":");
+            out.push_str(&c.to_string());
+            out.push('}');
+        }
+        Metric::Gauge(g) => {
+            out.push_str("{\"type\":\"gauge\",\"value\":");
+            push_f64(*g, out);
+            out.push('}');
+        }
+        Metric::Histogram(h) => {
+            out.push_str("{\"type\":\"histogram\",\"bounds\":[");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_f64(*b, out);
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("],\"sum\":");
+            push_f64(h.sum, out);
+            out.push_str(",\"total\":");
+            out.push_str(&h.total.to_string());
+            out.push('}');
+        }
+        Metric::Sketch(s) => out.push_str(&s.render()),
+    }
+}
+
+/// Renders one labeled series value: counters as bare integers, gauges as
+/// canonical floats (non-finite → `null`), sketches as their canonical
+/// object render.
+fn render_family_value_json(v: &FamilyValue, out: &mut String) {
+    match v {
+        FamilyValue::Counter(c) => out.push_str(&c.to_string()),
+        FamilyValue::Gauge(g) => push_f64(*g, out),
+        FamilyValue::Sketch(s) => out.push_str(&s.render()),
     }
 }
 
@@ -491,6 +716,75 @@ mod tests {
         assert_eq!(t.quantile(0.99), Some(2.0));
         // Non-finite q degrades to the top quantile instead of panicking.
         assert_eq!(t.quantile(f64::NAN), Some(2.0));
+    }
+
+    #[test]
+    fn with_bounds_supports_per_metric_combs() {
+        // Latency and bytes scales use different combs; both behave
+        // identically mechanically.
+        let mut lat = Histogram::with_bounds(crate::LATENCY_BOUNDS_S);
+        lat.observe(0.003);
+        assert_eq!(lat.quantile(0.5), Some(0.005));
+        let mut by = Histogram::with_bounds(crate::BYTES_BOUNDS);
+        by.observe(2048.0);
+        assert_eq!(by.quantile(0.5), Some(65_536.0));
+        // A custom single-edge comb still honors conservative semantics.
+        let mut h = Histogram::with_bounds(&[7.0]);
+        h.observe(7.0);
+        assert_eq!(h.quantile(1.0), Some(7.0));
+    }
+
+    #[test]
+    fn sketch_metric_registers_and_renders_canonically() {
+        let m = Metrics::new();
+        m.observe_sketch("jct", 1.0);
+        m.observe_sketch("jct", f64::NAN);
+        let Metric::Sketch(s) = m.get("jct").unwrap() else {
+            panic!("sketch expected");
+        };
+        assert_eq!(s.total(), 2);
+        let json = m.to_json();
+        assert!(json.contains("\"jct\":{\"type\":\"sketch\""), "{json}");
+        assert!(json.contains("\"nonfinite\":1"), "{json}");
+        // Type conflicts resolve last-writer-wins like every other kind.
+        m.inc("jct", 1);
+        assert!(matches!(m.get("jct"), Some(Metric::Counter(1))));
+        m.observe_sketch("jct", 2.0);
+        assert!(matches!(m.get("jct"), Some(Metric::Sketch(_))));
+    }
+
+    #[test]
+    fn labeled_families_render_into_json_and_account_exactly() {
+        let m = Metrics::new();
+        m.set_cardinality_budget("sched/completions", 2);
+        for (tenant, n) in [("t0", 1), ("t1", 2), ("t2", 4), ("t0", 8)] {
+            m.counter_with("sched/completions", &[("tenant", tenant)], n);
+        }
+        m.set_gauge_with("util", &[("device_class", "v100")], 0.5);
+        m.observe_sketch_with("jct", &[("tenant", "t0")], 3.0);
+        let json = m.to_json();
+        assert!(
+            json.contains(
+                "\"sched/completions\":{\"type\":\"family\",\"kind\":\"counter\",\"keys\":[\"tenant\"],\"budget\":2"
+            ),
+            "{json}"
+        );
+        // t2 arrived past the budget → overflow carries its 4.
+        assert!(json.contains("\"overflow\":4,\"overflow_samples\":1"), "{json}");
+        assert_eq!(m.silent_drops(), 0);
+        let stats = m.registry_stats();
+        assert_eq!(stats.families, 3);
+        assert_eq!(stats.labeled_series, 4); // 2 + 1 + 1
+        assert!(stats.interned_strings >= 6);
+        // set_counter_with mirrors monotonically like set_counter.
+        m.set_counter_with("mir", &[("job", "1")], 5);
+        m.set_counter_with("mir", &[("job", "1")], 3);
+        let fam = m
+            .labeled_snapshot()
+            .into_iter()
+            .find(|f| f.name == "mir")
+            .unwrap();
+        assert!(matches!(fam.series[0].1, crate::FamilyValue::Counter(5)));
     }
 
     #[test]

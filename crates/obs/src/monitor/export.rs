@@ -14,6 +14,7 @@
 
 use super::health::ComponentHealth;
 use crate::metrics::{Metric, Metrics};
+use crate::scale::{FamilyKind, FamilyValue, OVERFLOW_LABEL};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Maximum points per sparkline; longer series are downsampled with a
@@ -42,6 +43,39 @@ pub fn sanitize_metric_name(name: &str) -> String {
         .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
     if !leads {
         out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline get backslash escapes; everything else passes
+/// through verbatim.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats one label set as `k="v",k2="v2"` (keys sanitized, values
+/// escaped), in the family's canonical key order.
+fn format_labels(pairs: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{}=\"{}\"",
+            sanitize_metric_name(k),
+            escape_label_value(v)
+        ));
     }
     out
 }
@@ -76,7 +110,13 @@ pub fn render_prometheus(metrics: &Metrics) -> String {
     for (raw, metric) in metrics.snapshot() {
         let name = sanitize_metric_name(&raw);
         if typed.insert(name.clone()) {
-            out.push_str(&format!("# TYPE {name} {}\n", metric.type_str()));
+            // Sketches expose as Prometheus summaries (quantile-labeled
+            // samples); every other kind keeps its own exposition name.
+            let type_str = match &metric {
+                Metric::Sketch(_) => "summary",
+                m => m.type_str(),
+            };
+            out.push_str(&format!("# TYPE {name} {type_str}\n"));
         }
         match metric {
             Metric::Counter(c) => out.push_str(&format!("{name} {c}\n")),
@@ -97,9 +137,78 @@ pub fn render_prometheus(metrics: &Metrics) -> String {
                 out.push_str(&format!("{name}_sum {}\n", format_prom_value(h.sum)));
                 out.push_str(&format!("{name}_count {finite}\n"));
             }
+            Metric::Sketch(s) => render_prom_sketch(&name, "", &s, &mut out),
+        }
+    }
+    for family in metrics.labeled_snapshot() {
+        let name = sanitize_metric_name(&family.name);
+        if typed.insert(name.clone()) {
+            let type_str = match family.kind {
+                FamilyKind::Counter => "counter",
+                FamilyKind::Gauge => "gauge",
+                FamilyKind::Sketch => "summary",
+            };
+            out.push_str(&format!("# TYPE {name} {type_str}\n"));
+        }
+        let mut rows: Vec<(Vec<(String, String)>, &FamilyValue)> = family
+            .series
+            .iter()
+            .map(|(values, v)| {
+                (
+                    family.keys.iter().cloned().zip(values.iter().cloned()).collect(),
+                    v,
+                )
+            })
+            .collect();
+        if let Some(ov) = &family.overflow {
+            // The folded over-budget mass stays visible in the exposition
+            // under the reserved overflow label value.
+            rows.push((
+                family
+                    .keys
+                    .iter()
+                    .map(|k| (k.clone(), OVERFLOW_LABEL.to_string()))
+                    .collect(),
+                ov,
+            ));
+        }
+        for (pairs, v) in rows {
+            let labels = format_labels(&pairs);
+            match v {
+                FamilyValue::Counter(c) => {
+                    out.push_str(&format!("{name}{{{labels}}} {c}\n"));
+                }
+                FamilyValue::Gauge(g) => {
+                    out.push_str(&format!("{name}{{{labels}}} {}\n", format_prom_value(*g)));
+                }
+                FamilyValue::Sketch(s) => render_prom_sketch(&name, &labels, s, &mut out),
+            }
         }
     }
     out
+}
+
+/// Renders one sketch as Prometheus summary samples: `quantile="0.5"` /
+/// `quantile="0.99"` rows (merged with `labels` when present) plus a
+/// `_count` row. No `_sum` row: the sketch keeps integer-only state so
+/// its renders stay byte-identical under any merge order, and a float sum
+/// would break that.
+fn render_prom_sketch(name: &str, labels: &str, s: &crate::scale::Sketch, out: &mut String) {
+    for (q, q_str) in [(0.50, "0.5"), (0.99, "0.99")] {
+        if let Some(est) = s.quantile(q) {
+            let merged = if labels.is_empty() {
+                format!("quantile=\"{q_str}\"")
+            } else {
+                format!("{labels},quantile=\"{q_str}\"")
+            };
+            out.push_str(&format!("{name}{{{merged}}} {}\n", format_prom_value(est)));
+        }
+    }
+    if labels.is_empty() {
+        out.push_str(&format!("{name}_count {}\n", s.total()));
+    } else {
+        out.push_str(&format!("{name}_count{{{labels}}} {}\n", s.total()));
+    }
 }
 
 /// Escapes `&`, `<`, `>` for embedding in HTML text nodes.
@@ -119,24 +228,36 @@ fn escape_html(s: &str) -> String {
 /// One series' inline SVG sparkline, or a note when nothing is drawable.
 /// Only finite points are drawn; coordinates are fixed-precision so the
 /// markup is byte-stable.
+///
+/// Long series downsample deterministically to the [`SPARK_MAX_POINTS`]
+/// budget by fixed stride over the finite points, always keeping the most
+/// recent one; the only materialized buffer is the sampled set, so a
+/// 100k-point series renders in O(budget) memory.
 fn sparkline(points: &[(u64, f64)]) -> String {
-    let finite: Vec<(u64, f64)> = points.iter().copied().filter(|p| p.1.is_finite()).collect();
-    let skipped = points.len() - finite.len();
-    if finite.is_empty() {
+    let finite_count = points.iter().filter(|p| p.1.is_finite()).count();
+    let skipped = points.len() - finite_count;
+    if finite_count == 0 {
         return "<span class=\"empty\">no finite samples</span>".to_string();
     }
     // Deterministic downsample: fixed stride, always keep the last point.
-    let sampled: Vec<(u64, f64)> = if finite.len() > SPARK_MAX_POINTS {
-        let stride = finite.len().div_ceil(SPARK_MAX_POINTS);
-        let mut s: Vec<(u64, f64)> = finite.iter().copied().step_by(stride).collect();
-        let last = finite[finite.len() - 1];
-        if s.last() != Some(&last) {
-            s.push(last);
-        }
-        s
+    let stride = if finite_count > SPARK_MAX_POINTS {
+        finite_count.div_ceil(SPARK_MAX_POINTS)
     } else {
-        finite.clone()
+        1
     };
+    let mut sampled: Vec<(u64, f64)> = Vec::with_capacity(finite_count.div_ceil(stride) + 1);
+    let mut last = (0u64, 0.0_f64);
+    for (i, p) in points.iter().filter(|p| p.1.is_finite()).enumerate() {
+        if i % stride == 0 {
+            sampled.push(*p);
+        }
+        if i == finite_count - 1 {
+            last = *p;
+        }
+    }
+    if sampled.last() != Some(&last) {
+        sampled.push(last);
+    }
     let (w, h, pad) = (240.0, 48.0, 4.0);
     let t0 = sampled[0].0 as f64;
     let t1 = sampled[sampled.len() - 1].0 as f64;
@@ -291,6 +412,75 @@ mod tests {
         assert_eq!(text.matches("# TYPE a_b counter").count(), 1);
         assert_eq!(text.matches("a_b 3").count(), 1);
         assert_eq!(text.matches("a_b 4").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_renders_labeled_families_with_escaped_values() {
+        let m = Metrics::new();
+        m.set_cardinality_budget("sched/done", 2);
+        m.counter_with("sched/done", &[("tenant", "a\"b\\c\nd")], 3);
+        m.counter_with("sched/done", &[("tenant", "t1")], 5);
+        m.counter_with("sched/done", &[("tenant", "t2")], 7); // over budget
+        let text = render_prometheus(&m);
+        assert!(text.contains("# TYPE sched_done counter\n"), "{text}");
+        assert!(
+            text.contains("sched_done{tenant=\"a\\\"b\\\\c\\nd\"} 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("sched_done{tenant=\"t1\"} 5\n"), "{text}");
+        assert!(
+            text.contains("sched_done{tenant=\"__overflow__\"} 7\n"),
+            "over-budget mass stays visible: {text}"
+        );
+        // Byte-stable however the samples arrived.
+        let m2 = Metrics::new();
+        m2.set_cardinality_budget("sched/done", 2);
+        m2.counter_with("sched/done", &[("tenant", "t1")], 5);
+        m2.counter_with("sched/done", &[("tenant", "a\"b\\c\nd")], 3);
+        m2.counter_with("sched/done", &[("tenant", "t2")], 7);
+        assert_eq!(text, render_prometheus(&m2));
+    }
+
+    #[test]
+    fn prometheus_renders_sketches_as_summaries() {
+        let m = Metrics::new();
+        for v in [0.010, 0.012, 5.0] {
+            m.observe_sketch("jct_s", v);
+        }
+        m.observe_sketch_with("step_s", &[("job", "1")], 0.25);
+        let text = render_prometheus(&m);
+        assert!(text.contains("# TYPE jct_s summary\n"), "{text}");
+        assert!(text.contains("jct_s{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("jct_s{quantile=\"0.99\"}"), "{text}");
+        assert!(text.contains("jct_s_count 3\n"), "{text}");
+        assert!(text.contains("# TYPE step_s summary\n"), "{text}");
+        assert!(text.contains("step_s{job=\"1\",quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("step_s_count{job=\"1\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn sparkline_pins_its_svg_for_a_100k_sample_series() {
+        // 100k points stride down to the fixed budget in O(budget) memory,
+        // and the exact SVG bytes are pinned so any renderer change that
+        // shifts sampling or precision is caught here.
+        let mut series = BTreeMap::new();
+        let long: Vec<(u64, f64)> =
+            (0..100_000u64).map(|i| (i * 1_000, (i % 97) as f64)).collect();
+        series.insert("big".to_string(), long.clone());
+        let html = render_dashboard("t", &series, &[]);
+        let points = html.split("points=\"").nth(1).unwrap().split('"').next().unwrap();
+        let n = points.split(' ').count();
+        assert!(n <= SPARK_MAX_POINTS + 1, "budgeted to {n}");
+        let first_pairs: Vec<&str> = points.split(' ').take(3).collect();
+        assert_eq!(
+            first_pairs,
+            vec!["4.00,44.00", "5.45,26.08", "6.90,8.17"],
+            "pinned SVG head moved: {first_pairs:?}"
+        );
+        assert!(points.ends_with("236.00,6.92"), "last point pinned: {points}");
+        assert!(html.contains("n=100000"), "{html}");
+        // Same input renders the same bytes, every time.
+        assert_eq!(html, render_dashboard("t", &series, &[]));
     }
 
     #[test]

@@ -99,6 +99,18 @@ impl Monitor {
         self.with_inner(|inner| inner.obs = obs);
     }
 
+    /// Caps every sampled series at `cap` points with deterministic
+    /// decimation (see [`SeriesStore::set_retention`]) — required for
+    /// 100k-job runs where unbounded retention would dominate memory.
+    pub fn set_retention(&self, cap: usize) {
+        self.with_inner(|inner| inner.store.set_retention(cap));
+    }
+
+    /// Points dropped so far by series retention decimation.
+    pub fn points_decimated(&self) -> u64 {
+        self.with_inner(|inner| inner.store.points_decimated())
+    }
+
     /// Samples the registry at simulated time `t_s`, evaluates every rule,
     /// publishes `alerts/*` counters, and returns the transitions taken
     /// this tick. Non-finite or negative times are ignored (no tick).
@@ -131,7 +143,11 @@ impl Monitor {
                 AlertPhase::Pending => self.metrics.inc("alerts/pending_total", 1),
                 AlertPhase::Firing => {
                     self.metrics.inc("alerts/fired_total", 1);
-                    self.metrics.inc(&format!("alerts/{}/fired", edge.rule), 1);
+                    // Per-rule counts are a dimension, not a name: the
+                    // labeled family keeps the registry bounded however
+                    // many rules a pack carries.
+                    self.metrics
+                        .counter_with("alerts/fired", &[("rule", &edge.rule)], 1);
                 }
                 AlertPhase::Resolved => self.metrics.inc("alerts/resolved_total", 1),
             }

@@ -12,7 +12,22 @@
 //!   see, so the store keeps it and the exporters skip it instead;
 //! * **histograms** — `<name>/p50`, `<name>/p99`, and `<name>/count`
 //!   extracted with [`Histogram::quantile`](crate::Histogram::quantile)
-//!   (a quantile landing in the overflow bucket is honestly `+Inf`).
+//!   (a quantile landing in the overflow bucket is honestly `+Inf`);
+//! * **sketches** — `<name>/p50`, `<name>/p99`, and `<name>/count` from
+//!   [`Sketch::quantile`](crate::scale::Sketch::quantile);
+//! * **labeled families** — fleet-level aggregates only (`<name>/sum`
+//!   plus the bounded-registry accounting series
+//!   `<name>/overflow_samples` and `<name>/counted_drops`): per-label
+//!   time series would reintroduce the cardinality explosion the labeled
+//!   store exists to prevent, so dimensional drill-down stays in
+//!   snapshot/rollup views.
+//!
+//! For long runs the store supports **bounded retention**
+//! ([`SeriesStore::set_retention`]): when a series exceeds the cap it is
+//! decimated deterministically — every other point is dropped, the most
+//! recent point is always kept — and every dropped point is counted in
+//! [`SeriesStore::points_decimated`] (zero silent drops). `latest` stays
+//! exact, so alert rules keyed on current values are unaffected.
 //!
 //! Everything is `BTreeMap`-keyed in canonical name order and every
 //! derived number is a pure function of (registry contents, tick times),
@@ -49,12 +64,32 @@ pub struct SeriesStore {
     series: BTreeMap<String, Vec<Point>>,
     prev_counters: BTreeMap<String, u64>,
     last_sample_us: Option<u64>,
+    /// Per-series point cap; `None` retains everything (the historical
+    /// default, right for short runs and byte-identity tests).
+    retention: Option<usize>,
+    /// Points dropped by retention decimation — counted, never silent.
+    points_decimated: u64,
 }
 
 impl SeriesStore {
     /// An empty store.
     pub fn new() -> Self {
         SeriesStore::default()
+    }
+
+    /// Caps every series at `cap` points (floor 2, so the first and most
+    /// recent samples always survive). When a series grows past the cap it
+    /// is halved deterministically: even-indexed points are kept, plus
+    /// always the most recent point; the drop count lands in
+    /// [`SeriesStore::points_decimated`]. Decimation is a pure function of
+    /// the sample sequence, so two identical runs decimate identically.
+    pub fn set_retention(&mut self, cap: usize) {
+        self.retention = Some(cap.max(2));
+    }
+
+    /// Points dropped so far by retention decimation.
+    pub fn points_decimated(&self) -> u64 {
+        self.points_decimated
     }
 
     /// Timestamp of the most recent sample, if any.
@@ -98,7 +133,32 @@ impl SeriesStore {
                     }
                     self.push(&format!("{name}/count"), t_us, h.total as f64, same_tick);
                 }
+                Metric::Sketch(s) => {
+                    if let Some(p50) = s.quantile(0.50) {
+                        self.push(&format!("{name}/p50"), t_us, p50, same_tick);
+                    }
+                    if let Some(p99) = s.quantile(0.99) {
+                        self.push(&format!("{name}/p99"), t_us, p99, same_tick);
+                    }
+                    self.push(&format!("{name}/count"), t_us, s.total() as f64, same_tick);
+                }
             }
+        }
+        for family in metrics.labeled_snapshot() {
+            let name = &family.name;
+            self.push(&format!("{name}/sum"), t_us, family.scalar_sum(), same_tick);
+            self.push(
+                &format!("{name}/overflow_samples"),
+                t_us,
+                family.overflow_samples as f64,
+                same_tick,
+            );
+            self.push(
+                &format!("{name}/counted_drops"),
+                t_us,
+                family.counted_drops as f64,
+                same_tick,
+            );
         }
         self.last_sample_us = Some(t_us);
     }
@@ -108,6 +168,12 @@ impl SeriesStore {
         match points.last_mut() {
             Some(last) if same_tick && last.0 == t_us => last.1 = value,
             _ => points.push((t_us, value)),
+        }
+        if let Some(cap) = self.retention {
+            if points.len() > cap {
+                self.points_decimated =
+                    self.points_decimated.saturating_add(decimate(points) as u64);
+            }
         }
     }
 
@@ -195,6 +261,27 @@ impl SeriesStore {
     }
 }
 
+/// Halves a series in place for retention: even-indexed points are kept
+/// and the most recent point always survives (so `latest` stays exact).
+/// Returns how many points were dropped.
+fn decimate(points: &mut Vec<Point>) -> usize {
+    let before = points.len();
+    if before < 3 {
+        return 0;
+    }
+    let last = points[before - 1];
+    let mut keep = 0;
+    for i in (0..before).step_by(2) {
+        points[keep] = points[i];
+        keep += 1;
+    }
+    points.truncate(keep);
+    if points.last() != Some(&last) {
+        points.push(last);
+    }
+    before - points.len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +360,98 @@ mod tests {
         // Absent series and zero windows are quiet zeros.
         assert_eq!(s.delta_over("ghost", 30_000_000, 10_000_000), 0.0);
         assert_eq!(s.rate_over("errs", 30_000_000, 0), 0.0);
+    }
+
+    #[test]
+    fn sketches_extract_quantiles_and_counts() {
+        let m = Metrics::new();
+        let mut s = SeriesStore::new();
+        for v in [0.5, 0.5, 1.5, f64::NAN] {
+            m.observe_sketch("jct", v);
+        }
+        s.sample(1_000_000, &m);
+        let (_, p50) = s.latest("jct/p50").unwrap();
+        assert!((0.49..0.52).contains(&p50), "~0.5 within 2%: {p50}");
+        assert!(s.latest("jct/p99").is_some());
+        assert_eq!(s.latest("jct/count"), Some((1_000_000, 4.0)));
+    }
+
+    #[test]
+    fn labeled_families_sample_as_fleet_aggregates() {
+        let m = Metrics::new();
+        let mut s = SeriesStore::new();
+        m.set_cardinality_budget("done", 1);
+        m.counter_with("done", &[("tenant", "a")], 3);
+        m.counter_with("done", &[("tenant", "b")], 4); // folds into overflow
+        s.sample(1_000_000, &m);
+        assert_eq!(s.latest("done/sum"), Some((1_000_000, 7.0)));
+        assert_eq!(s.latest("done/overflow_samples"), Some((1_000_000, 1.0)));
+        assert_eq!(s.latest("done/counted_drops"), Some((1_000_000, 0.0)));
+        // No per-label series leaks into the store.
+        assert!(!s.series().keys().any(|k| k.contains("tenant")));
+    }
+
+    #[test]
+    fn retention_decimates_deterministically_and_counts_drops() {
+        let m = Metrics::new();
+        let mut a = SeriesStore::new();
+        a.set_retention(8);
+        for t in 0..100u64 {
+            m.set_gauge("g", t as f64);
+            a.sample(t * 1_000_000, &m);
+        }
+        let points = &a.series()["g"];
+        assert!(points.len() <= 8, "cap holds: {}", points.len());
+        // The most recent point is always exact.
+        assert_eq!(a.latest("g"), Some((99_000_000, 99.0)));
+        assert!(a.points_decimated() > 0);
+        // Timestamps stay strictly increasing after decimation.
+        assert!(points.windows(2).all(|w| w[0].0 < w[1].0));
+        // Decimation is a pure function of the sample sequence.
+        let m2 = Metrics::new();
+        let mut b = SeriesStore::new();
+        b.set_retention(8);
+        for t in 0..100u64 {
+            m2.set_gauge("g", t as f64);
+            b.sample(t * 1_000_000, &m2);
+        }
+        assert_eq!(a.series(), b.series());
+        assert_eq!(a.points_decimated(), b.points_decimated());
+        // Floor of 2: first and last survive even an absurd cap.
+        let mut c = SeriesStore::new();
+        c.set_retention(0);
+        for t in 0..10u64 {
+            m.set_gauge("g", t as f64);
+            c.sample(t * 1_000_000, &m);
+        }
+        assert!(c.series()["g"].len() >= 2);
+    }
+
+    #[test]
+    fn window_queries_honor_exact_tick_edges() {
+        let m = Metrics::new();
+        let mut s = SeriesStore::new();
+        for (t, total) in [(10u64, 10u64), (20, 30), (30, 60)] {
+            m.set_counter("c", total);
+            s.sample(t * 1_000_000, &m);
+        }
+        // Window (10s, 30s]: the sample exactly at the start (10s) is the
+        // "then" reference, the one exactly at the end is included.
+        assert_eq!(s.delta_over("c", 30_000_000, 20_000_000), 50.0);
+        let w = s.window_stats("c", 30_000_000, 20_000_000).unwrap();
+        assert_eq!(w.count, 2, "start-edge sample excluded, end included");
+        assert_eq!((w.first, w.last), (30.0, 60.0));
+        // A window ending before every sample is empty.
+        assert!(s.window_stats("c", 5_000_000, 4_000_000).is_none());
+        // now exactly on the only covered sample: still included.
+        let one = s.window_stats("c", 10_000_000, 1_000_000).unwrap();
+        assert_eq!((one.count, one.first), (1, 10.0));
+        // Zero-width window at a sample: (t, t] is empty.
+        assert!(s.window_stats("c", 10_000_000, 0).is_none());
+        // delta over a window whose start predates the series measures
+        // from zero; rate divides by the window, not the data span.
+        assert_eq!(s.delta_over("c", 30_000_000, 25_000_000), 60.0);
+        assert_eq!(s.rate_over("c", 30_000_000, 25_000_000), 60.0 / 25.0);
     }
 
     #[test]

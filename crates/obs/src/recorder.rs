@@ -13,14 +13,22 @@
 //! backwards (Chrome renders backwards timestamps as garbage).
 
 use crate::event::Event;
+use crate::scale;
 use crate::sink::Sink;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct Inner {
     sink: Box<dyn Sink>,
     now_us: AtomicU64,
     recorded: AtomicU64,
+    /// Events rejected by head-based sampling — counted, never silent.
+    dropped: AtomicU64,
+    /// Seed of the sampling decision ([`scale::admits`]).
+    sample_seed: AtomicU64,
+    /// Keep rate in parts-per-million; 1_000_000 keeps everything (the
+    /// default, so un-sampled traces stay byte-identical to before).
+    keep_ppm: AtomicU32,
 }
 
 /// A cheap cloneable tracing handle. See the module docs.
@@ -60,6 +68,9 @@ impl Recorder {
                 sink: Box::new(sink),
                 now_us: AtomicU64::new(0),
                 recorded: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                sample_seed: AtomicU64::new(0),
+                keep_ppm: AtomicU32::new(1_000_000),
             })),
         }
     }
@@ -132,11 +143,61 @@ impl Recorder {
         }
     }
 
+    /// Configures head-based trace sampling: the trace unit `key` (a job
+    /// id) is kept iff [`scale::admits`]`(seed, key, keep_ppm)` — a pure
+    /// function, so every thread, run, and replica keeps the *same* subset
+    /// and sampled traces stay deterministic. The default `keep_ppm` of
+    /// 1_000_000 keeps everything (existing traces are unaffected until a
+    /// caller opts in). No-op when disabled.
+    pub fn set_head_sampling(&self, seed: u64, keep_ppm: u32) {
+        if let Some(i) = &self.inner {
+            i.sample_seed.store(seed, Ordering::Relaxed);
+            i.keep_ppm.store(keep_ppm.min(1_000_000), Ordering::Relaxed);
+        }
+    }
+
+    /// The sampling decision for trace unit `key`: true when its events
+    /// should be recorded. Always false when disabled (nothing records),
+    /// true for every key at the default keep-all rate.
+    pub fn admits(&self, key: u64) -> bool {
+        match &self.inner {
+            Some(i) => scale::admits(
+                i.sample_seed.load(Ordering::Relaxed),
+                key,
+                i.keep_ppm.load(Ordering::Relaxed),
+            ),
+            None => false,
+        }
+    }
+
+    /// Like [`Recorder::record_with`], but subject to head-based sampling
+    /// on `key`: a rejected key's event is not built, and the rejection is
+    /// counted in [`Recorder::events_dropped`] — sampled away, never
+    /// silently lost.
+    #[inline]
+    pub fn record_sampled(&self, key: u64, build: impl FnOnce() -> Event) {
+        if let Some(i) = &self.inner {
+            if self.admits(key) {
+                self.emit(build());
+            } else {
+                i.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Total events delivered through this recorder (0 when disabled).
     pub fn events_recorded(&self) -> u64 {
         self.inner
             .as_ref()
             .map_or(0, |i| i.recorded.load(Ordering::Relaxed))
+    }
+
+    /// Events rejected by head-based sampling (0 when disabled — a
+    /// disabled recorder records nothing and samples nothing).
+    pub fn events_dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.dropped.load(Ordering::Relaxed))
     }
 
     /// Flushes the underlying sink.
@@ -223,6 +284,46 @@ mod tests {
         assert_eq!(obs.now_us(), 201);
         obs.set_time_s(0.001); // 1000us, future
         assert_eq!(obs.now_us(), 1_000);
+    }
+
+    #[test]
+    fn default_sampling_keeps_everything_and_counts_nothing() {
+        let ring = Arc::new(RingSink::unbounded());
+        let obs = Recorder::with_sink(ring.clone());
+        for key in 0..50u64 {
+            obs.record_sampled(key, || Event::instant("e", "sched", 0));
+        }
+        assert_eq!(ring.len(), 50, "keep-all default records every key");
+        assert_eq!(obs.events_dropped(), 0);
+    }
+
+    #[test]
+    fn head_sampling_drops_deterministically_and_counts_drops() {
+        let ring = Arc::new(RingSink::unbounded());
+        let obs = Recorder::with_sink(ring.clone());
+        obs.set_head_sampling(42, 250_000); // keep ~25%
+        let mut built = 0u64;
+        for key in 0..1000u64 {
+            obs.record_sampled(key, || {
+                built += 1;
+                Event::instant("e", "sched", 0)
+            });
+        }
+        let kept = ring.len() as u64;
+        assert_eq!(built, kept, "rejected keys never build their event");
+        assert_eq!(obs.events_recorded() + obs.events_dropped(), 1000);
+        assert!((100..500).contains(&kept), "~25% of 1000, got {kept}");
+        // The decision is shared by clones and repeatable per key.
+        let clone = obs.clone();
+        for key in 0..1000u64 {
+            assert_eq!(obs.admits(key), clone.admits(key));
+        }
+        // A disabled recorder neither records nor counts drops.
+        let off = Recorder::disabled();
+        off.set_head_sampling(42, 0);
+        off.record_sampled(7, || unreachable!("disabled"));
+        assert_eq!(off.events_dropped(), 0);
+        assert!(!off.admits(7));
     }
 
     #[test]

@@ -181,7 +181,11 @@ pub fn run_trace_traced(
 /// `sched/busy_gpu_ms` counter, and `sched/starvation` (1 exactly when
 /// jobs are queued and nothing runs, so an idle-but-empty cluster never
 /// reads as starved) — then ticks the monitor at the event's simulated
-/// time, driving the sampler and alert rules in event order. Single
+/// time, driving the sampler and alert rules in event order. Completions
+/// additionally feed the bounded `sched/jct_s` / `sched/queue_delay_s`
+/// quantile sketches and the priority-labeled `sched/completions` counter
+/// family, so distribution telemetry stays O(1) however many jobs the
+/// trace carries. Single
 /// threaded and event-ordered, so the monitor's series and alert log are
 /// bit-identical across repeat runs and thread-count settings.
 ///
@@ -299,7 +303,11 @@ pub fn run_trace_monitored(
         let now_us = base_us + (now.max(0.0) * 1e6).round() as u64;
         obs.set_time_us(now_us);
         while let Some(spec) = pending.next_if(|j| j.arrival_s <= now) {
-            obs.record_with(|| {
+            // Per-job instants go through head-based sampling keyed on the
+            // job id: at the keep-all default this is byte-identical to
+            // unconditional recording, and at scale a sampled run keeps a
+            // deterministic job subset with every drop counted.
+            obs.record_sampled(u64::from(spec.id.0), || {
                 Event::instant(format!("job{}/arrival", spec.id.0), "sched", now_us)
                     .with_arg("demand", spec.demand)
                     .with_arg("priority", spec.priority)
@@ -317,7 +325,7 @@ pub fn run_trace_monitored(
             };
             job.finished_at_s = Some(now);
             job.allocation = 0;
-            obs.record_with(|| {
+            obs.record_sampled(u64::from(id.0), || {
                 let mut e = Event::instant(format!("job{}/completion", id.0), "sched", now_us);
                 if let Some(jct) = job.jct_s() {
                     e = e.with_arg("jct_s", jct);
@@ -329,7 +337,7 @@ pub fn run_trace_monitored(
             // time excluded: the span starts at first allocation).
             if let Some(started) = job.started_at_s {
                 let start_us = base_us + (started.max(0.0) * 1e6).round() as u64;
-                obs.record_with(|| {
+                obs.record_sampled(u64::from(id.0), || {
                     Event::complete(
                         format!("job{}/run", id.0),
                         "sched",
@@ -339,6 +347,26 @@ pub fn run_trace_monitored(
                     .with_tid(JOB_TID_BASE + id.0)
                     .with_arg("resizes", job.resizes)
                 });
+            }
+            if let Some(mon) = monitor {
+                // Distribution telemetry is aggregate by construction:
+                // bounded sketches for the JCT / queue-delay curves the
+                // paper's Figs 12–14 report, and a labeled completion
+                // counter dimensioned by priority class (bounded, unlike
+                // per-job metric names which the metric-cardinality lint
+                // now bans).
+                let m = mon.metrics();
+                if let Some(jct) = job.jct_s() {
+                    m.observe_sketch("sched/jct_s", jct);
+                }
+                if let Some(delay) = job.queuing_delay_s() {
+                    m.observe_sketch("sched/queue_delay_s", delay);
+                }
+                m.counter_with(
+                    "sched/completions",
+                    &[("priority", &job.spec.priority.to_string())],
+                    1,
+                );
             }
             done.push(job);
         }
@@ -359,7 +387,7 @@ pub fn run_trace_monitored(
             }
             if job.started_at_s.is_some() && new_alloc != job.allocation && job.allocation > 0 {
                 job.resizes += 1;
-                obs.record_with(|| {
+                obs.record_sampled(u64::from(job.spec.id.0), || {
                     Event::instant(format!("job{}/resize", job.spec.id.0), "sched", now_us)
                         .with_arg("from", job.allocation)
                         .with_arg("to", new_alloc)

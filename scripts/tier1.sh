@@ -43,6 +43,9 @@ cargo run --release -q -p vf-bench --bin recovery_drill -- --smoke
 echo "== tier 1: monitor smoke (alert recall/precision, byte-stable renders) =="
 cargo run --release -q -p vf-bench --bin monitor_bench -- --smoke
 
+echo "== tier 1: obs scale smoke (bounded cardinality, zero silent drops, byte-stable renders) =="
+cargo run --release -q -p vf-bench --bin obs_scale_bench -- --smoke
+
 echo "== tier 1: lint gate (semantic findings pinned at zero, analysis wall time recorded) =="
 cargo run --release -q -p vf-bench --bin lint_gate
 
